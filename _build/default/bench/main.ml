@@ -1,0 +1,203 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§7) on the simulated substrate, then runs
+   micro-benchmarks of the core building blocks.
+
+   Run with:  dune exec bench/main.exe            (full suite)
+              dune exec bench/main.exe -- quick   (shorter sweeps)   *)
+
+module Sim = Repro_sim
+open Repro_harness
+
+let ppf = Format.std_formatter
+
+let quick = Array.exists (String.equal "quick") Sys.argv
+
+let duration = Sim.Time.of_sec (if quick then 2. else 6.)
+let clients = if quick then [ 1; 4; 8; 14 ] else [ 1; 2; 4; 6; 8; 10; 12; 14 ]
+
+(* ------------------------------------------------------------------ *)
+(* Macro benchmarks: the paper's figures and tables.                   *)
+
+let check_shape name ok =
+  Format.fprintf ppf "shape check [%s]: %s@." name
+    (if ok then "PASS" else "DIVERGES (see EXPERIMENTS.md)")
+
+let last series = List.nth series (List.length series - 1) |> snd
+
+let figure_5a () =
+  let named = Figures.figure_5a ~clients ~duration ppf () in
+  let get n = List.assoc n named in
+  let engine = get "engine (forced writes)"
+  and corel = get "COReL"
+  and twopc = get "2PC" in
+  check_shape "engine >= COReL >= 2PC at max clients"
+    (last engine >= last corel && last corel >= last twopc *. 0.9);
+  check_shape "engine beats COReL by >1.5x at max clients"
+    (last engine > 1.5 *. last corel)
+
+let figure_5b () =
+  let named = Figures.figure_5b ~clients ~duration ppf () in
+  let delayed = List.assoc "engine (delayed writes)" named
+  and forced = List.assoc "engine (forced writes)" named in
+  check_shape "delayed writes dominate forced" (last delayed > 2. *. last forced);
+  check_shape "delayed writes flatten toward a processing cap"
+    (let n = List.length delayed in
+     n < 3
+     ||
+     let tput_at i = snd (List.nth delayed i) in
+     let clients_at i = float_of_int (fst (List.nth delayed i)) in
+     let slope_late =
+       (tput_at (n - 1) -. tput_at (n - 2))
+       /. (clients_at (n - 1) -. clients_at (n - 2))
+     in
+     let slope_early = (tput_at 1 -. tput_at 0) /. (clients_at 1 -. clients_at 0) in
+     slope_late < slope_early)
+
+let latency_table () =
+  let named = Figures.latency_table ppf () in
+  let mean_of name =
+    let series = List.assoc name named in
+    List.fold_left (fun acc (_, v) -> acc +. v) 0. series
+    /. float_of_int (List.length series)
+  in
+  let twopc = mean_of "2PC"
+  and corel = mean_of "COReL"
+  and engine = mean_of "engine (forced writes)" in
+  check_shape "2PC pays roughly one extra forced write"
+    (twopc > corel +. 5. && twopc < corel +. 18.);
+  check_shape "engine and COReL within 25%"
+    (Float.abs (engine -. corel) < 0.25 *. corel)
+
+let wan () =
+  let rows = Figures.wan_prediction ppf () in
+  match rows with
+  | [ (_, twopc_lan, twopc_wan); (_, corel_lan, corel_wan); (_, eng_lan, eng_wan) ]
+    ->
+    check_shape "2PC pays the most added WAN latency"
+      (twopc_wan -. twopc_lan > corel_wan -. corel_lan);
+    check_shape "the engine pays the least added WAN latency"
+      (eng_wan -. eng_lan <= corel_wan -. corel_lan)
+  | _ -> ()
+
+let ablations () =
+  let acks = Figures.ablation_ack_batching ~duration ppf () in
+  (match (acks, List.rev acks) with
+  | (_, tput_small) :: _, (_, tput_big) :: _ ->
+    check_shape "ack batching amortises the safe-delivery cost"
+      (tput_big > tput_small)
+  | _ -> ());
+  let (ordered_tput, _), (local_tput, local_lat) =
+    Figures.ablation_query_path ~duration ppf ()
+  in
+  check_shape "local read path beats ordered reads"
+    (local_tput > 1.5 *. ordered_tput && local_lat < 10.);
+  let (dlv_casc, sta_casc), _chaos = Figures.ablation_quorum_availability ppf () in
+  check_shape "dynamic linear voting wins under cascading splits"
+    (dlv_casc > sta_casc);
+  let timeline = Figures.partition_timeline ppf () in
+  let rate_near t =
+    List.fold_left
+      (fun acc (s, r) -> if Float.abs (s -. t) <= 1. then max acc r else acc)
+      0. timeline
+  in
+  check_shape "majority keeps committing during the partition"
+    (rate_near 9. > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Micro benchmarks (bechamel): the core building blocks.              *)
+
+let microbenchmarks () =
+  let open Bechamel in
+  let open Toolkit in
+  let test_heap =
+    Test.make ~name:"sim: heap push+pop x100"
+      (Staged.stage (fun () ->
+           let h = Sim.Heap.create ~cmp:Int.compare in
+           for i = 0 to 99 do
+             Sim.Heap.push h (i * 7919 mod 100)
+           done;
+           for _ = 0 to 99 do
+             ignore (Sim.Heap.pop h)
+           done))
+  in
+  let test_rng =
+    let rng = Sim.Rng.of_int 42 in
+    Test.make ~name:"sim: rng draw x100"
+      (Staged.stage (fun () ->
+           for _ = 1 to 100 do
+             ignore (Sim.Rng.int rng 1000)
+           done))
+  in
+  let test_db =
+    Test.make ~name:"db: apply 100 sets"
+      (Staged.stage (fun () ->
+           let db = Repro_db.Database.create () in
+           for i = 0 to 99 do
+             Repro_db.Database.apply db
+               [ Repro_db.Op.Set (string_of_int (i mod 10), Repro_db.Value.Int i) ]
+           done))
+  in
+  let test_queue =
+    Test.make ~name:"core: action queue 100 greens"
+      (Staged.stage (fun () ->
+           let q = Repro_core.Action_queue.create () in
+           for i = 1 to 100 do
+             ignore
+               (Repro_core.Action_queue.append_green q
+                  (Repro_db.Action.make ~server:0 ~index:i
+                     (Repro_db.Action.Update [])))
+           done))
+  in
+  let test_quorum =
+    let prev = Repro_net.Node_id.set_of_list (List.init 14 Fun.id) in
+    let half = Repro_net.Node_id.set_of_list (List.init 8 Fun.id) in
+    Test.make ~name:"core: quorum decision x100 (14 servers)"
+      (Staged.stage (fun () ->
+           for _ = 1 to 100 do
+             ignore (Repro_core.Quorum.has_majority ~prev half)
+           done))
+  in
+  let test_sim_round =
+    Test.make ~name:"sim: engine 1000 events"
+      (Staged.stage (fun () ->
+           let e = Sim.Engine.create () in
+           for i = 1 to 1000 do
+             ignore (Sim.Engine.schedule e ~delay:(Sim.Time.of_us i) (fun () -> ()))
+           done;
+           Sim.Engine.run e))
+  in
+  let tests =
+    [ test_heap; test_rng; test_db; test_queue; test_quorum; test_sim_round ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  Format.fprintf ppf "@.== Micro-benchmarks (bechamel) ==@.";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ estimate ] ->
+            Format.fprintf ppf "%-44s %12.1f ns/run@." name estimate
+          | _ -> Format.fprintf ppf "%-44s (no estimate)@." name)
+        analysis)
+    tests
+
+let () =
+  Format.fprintf ppf
+    "Reproduction benchmarks: From Total Order to Database Replication@.\
+     (Amir & Tutu, ICDCS 2002) — simulated substrate, virtual time.@.";
+  figure_5a ();
+  figure_5b ();
+  latency_table ();
+  wan ();
+  ablations ();
+  microbenchmarks ();
+  Format.fprintf ppf "@.bench: done@."

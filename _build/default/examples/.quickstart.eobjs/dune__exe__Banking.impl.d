@@ -1,0 +1,1 @@
+examples/banking.ml: Action Consistency Format List Op Printf Replica Repro_core Repro_db Repro_harness Repro_net Repro_sim Session String Topology Value World

@@ -1,0 +1,1 @@
+examples/dynamic_replicas.ml: Action Consistency Database Engine Format List Op Printf Replica Repro_core Repro_db Repro_harness Repro_net Repro_sim Value World

@@ -1,0 +1,1 @@
+examples/partition_healing.ml: Action Consistency Engine Format List Op Replica Repro_core Repro_db Repro_harness Repro_net Repro_sim Topology Value World

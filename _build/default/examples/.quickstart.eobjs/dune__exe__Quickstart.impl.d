@@ -1,0 +1,1 @@
+examples/quickstart.ml: Action Database Format List Op Replica Repro_core Repro_db Repro_sim Types Value

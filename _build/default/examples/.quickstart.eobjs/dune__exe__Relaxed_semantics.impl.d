@@ -1,0 +1,1 @@
+examples/relaxed_semantics.ml: Action Consistency Format List Op Replica Repro_core Repro_db Repro_harness Repro_net Repro_sim Topology Value World

@@ -1,0 +1,1 @@
+lib/baselines/corel.ml: Disk Endpoint Hashtbl List Network Node_id Params Repro_gcs Repro_net Repro_sim Repro_storage Topology

@@ -1,0 +1,1 @@
+lib/baselines/twopc.ml: Disk Engine Hashtbl List Network Node_id Repro_net Repro_sim Repro_storage Resource Time Topology

@@ -1,0 +1,1 @@
+lib/baselines/twopc.mli: Disk Engine Network Node_id Repro_net Repro_sim Repro_storage Time Topology

@@ -1,0 +1,1 @@
+lib/core/action_queue.ml: Action Array Hashtbl List Printf Repro_db

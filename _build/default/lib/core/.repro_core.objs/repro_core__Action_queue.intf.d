@@ -1,0 +1,1 @@
+lib/core/action_queue.mli: Action Repro_db

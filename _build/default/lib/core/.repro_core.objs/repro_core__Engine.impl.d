@@ -1,0 +1,1 @@
+lib/core/engine.ml: Action Action_queue Conf_id Endpoint Hashtbl Knowledge List Logs Node_id Option Persist Quorum Repro_db Repro_gcs Repro_net Repro_sim Types

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Action Database Endpoint Node_id Persist Quorum Repro_db Repro_gcs Repro_net Repro_sim Types

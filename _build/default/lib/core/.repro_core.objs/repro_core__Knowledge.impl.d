@@ -1,0 +1,1 @@
+lib/core/knowledge.ml: Action Format List Node_id Repro_db Repro_net Types

@@ -1,0 +1,1 @@
+lib/core/knowledge.mli: Node_id Repro_net Types

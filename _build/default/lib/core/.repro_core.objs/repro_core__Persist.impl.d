@@ -1,0 +1,1 @@
+lib/core/persist.ml: Action Database Disk Hashtbl List Node_id Repro_db Repro_net Repro_storage Types Wlog

@@ -1,0 +1,1 @@
+lib/core/persist.mli: Action Database Disk Node_id Repro_db Repro_net Repro_sim Repro_storage Types

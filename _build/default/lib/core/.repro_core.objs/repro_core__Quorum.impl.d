@@ -1,0 +1,1 @@
+lib/core/quorum.ml: Node_id Repro_net

@@ -1,0 +1,1 @@
+lib/core/quorum.mli: Node_id Repro_net

@@ -1,0 +1,1 @@
+lib/core/replica.ml: Action Database Disk Endpoint Engine Executor Hashtbl List Logs Network Node_id Params Persist Quorum Repro_db Repro_gcs Repro_net Repro_sim Repro_storage Topology Types

@@ -1,0 +1,1 @@
+lib/core/replica.mli: Action Database Disk Engine Network Node_id Params Quorum Repro_db Repro_gcs Repro_net Repro_sim Repro_storage Topology Types Value

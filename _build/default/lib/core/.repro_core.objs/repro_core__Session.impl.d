@@ -1,0 +1,1 @@
+lib/core/session.ml: Action Queue Replica Repro_db Value

@@ -1,0 +1,1 @@
+lib/core/session.mli: Action Replica Repro_db Value

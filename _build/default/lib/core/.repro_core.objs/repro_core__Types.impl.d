@@ -1,0 +1,1 @@
+lib/core/types.ml: Action Conf_id Format Int List Node_id Repro_db Repro_gcs Repro_net

@@ -1,0 +1,121 @@
+open Repro_db
+
+module Id_tbl = Hashtbl.Make (struct
+  type t = Action.Id.t
+
+  let equal = Action.Id.equal
+  let hash (id : Action.Id.t) = Hashtbl.hash (id.server, id.index)
+end)
+
+type t = {
+  mutable green : Action.t array; (* growable; slot i = green position i+1 *)
+  mutable green_count : int;
+  mutable floor : int; (* positions <= floor have no body *)
+  mutable floor_line : Action.Id.t option;
+  mutable red : Action.t list; (* newest first *)
+  mutable red_count : int;
+  green_pos : int Id_tbl.t; (* id -> green position *)
+  bodies : Action.t Id_tbl.t; (* every body we hold *)
+}
+
+let create () =
+  {
+    green = [||];
+    green_count = 0;
+    floor = 0;
+    floor_line = None;
+    red = [];
+    red_count = 0;
+    green_pos = Id_tbl.create 256;
+    bodies = Id_tbl.create 256;
+  }
+
+let green_count t = t.green_count
+let green_floor t = t.floor
+
+let green_line t =
+  if t.green_count = 0 then None
+  else if t.green_count = t.floor then t.floor_line
+  else Some (t.green.(t.green_count - 1 - t.floor)).Action.id
+
+let nth_green t n =
+  if n <= t.floor || n > t.green_count then
+    invalid_arg
+      (Printf.sprintf "Action_queue.nth_green: %d not in (%d, %d]" n t.floor
+         t.green_count);
+  t.green.(n - 1 - t.floor)
+
+let greens_from t n =
+  let start = max n t.floor in
+  let rec collect i acc =
+    if i <= start then acc else collect (i - 1) (nth_green t i :: acc)
+  in
+  collect t.green_count []
+
+let set_join_floor t ~count ~line =
+  if t.green_count <> 0 || t.red_count <> 0 then
+    invalid_arg "Action_queue.set_join_floor: queue not empty";
+  t.floor <- count;
+  t.green_count <- count;
+  t.floor_line <- line
+
+let is_green t id = Id_tbl.mem t.green_pos id
+
+let discard_below t n =
+  let n = min n t.green_count in
+  if n <= t.floor then 0
+  else begin
+    let dropped = n - t.floor in
+    let stored = t.green_count - t.floor in
+    (* The last discarded body becomes the floor line. *)
+    let last = t.green.(dropped - 1) in
+    for i = 0 to dropped - 1 do
+      Id_tbl.remove t.bodies t.green.(i).Action.id
+    done;
+    let remaining = stored - dropped in
+    let ng = if remaining = 0 then [||] else Array.make remaining last in
+    Array.blit t.green dropped ng 0 remaining;
+    t.green <- ng;
+    t.floor <- n;
+    t.floor_line <- Some last.Action.id;
+    dropped
+  end
+
+let grow t a =
+  let stored = t.green_count - t.floor in
+  let cap = Array.length t.green in
+  if stored = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let ng = Array.make ncap a in
+    Array.blit t.green 0 ng 0 stored;
+    t.green <- ng
+  end
+
+let remove_red t id =
+  if List.exists (fun a -> Action.Id.equal a.Action.id id) t.red then begin
+    t.red <- List.filter (fun a -> not (Action.Id.equal a.Action.id id)) t.red;
+    t.red_count <- t.red_count - 1
+  end
+
+let append_green t a =
+  if is_green t a.Action.id then
+    invalid_arg "Action_queue.append_green: already green";
+  remove_red t a.Action.id;
+  grow t a;
+  t.green.(t.green_count - t.floor) <- a;
+  t.green_count <- t.green_count + 1;
+  Id_tbl.replace t.green_pos a.Action.id t.green_count;
+  Id_tbl.replace t.bodies a.Action.id a;
+  t.green_count
+
+let add_red t a =
+  if not (Id_tbl.mem t.bodies a.Action.id) then begin
+    t.red <- a :: t.red;
+    t.red_count <- t.red_count + 1;
+    Id_tbl.replace t.bodies a.Action.id a
+  end
+
+let red_actions t = List.rev t.red
+let red_count t = t.red_count
+let find t id = Id_tbl.find_opt t.bodies id
+let mem t id = Id_tbl.mem t.bodies id

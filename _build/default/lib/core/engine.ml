@@ -1,0 +1,792 @@
+module Sim = Repro_sim
+open Repro_net
+open Repro_gcs
+open Repro_db
+open Types
+
+let log_src = Logs.Src.create "repro.engine" ~doc:"replication engine"
+
+module Log = (val Logs.src_log log_src)
+
+type callbacks = {
+  on_green : Action.t -> unit;
+  on_red : Action.t -> unit;
+  on_transfer_request : joiner:Node_id.t -> join_green_count:int -> unit;
+  on_self_leave : unit -> unit;
+  on_state_change : engine_state -> unit;
+  send : service:Endpoint.service -> size:int -> payload -> unit;
+}
+
+type buffered_request = {
+  bq_client : int;
+  bq_semantics : Action.semantics;
+  bq_size : int;
+  bq_kind : Action.kind;
+  bq_on_created : Action.Id.t -> unit;
+}
+
+type stats = {
+  mutable s_exchanges : int;
+  mutable s_installs : int;
+  mutable s_retrans_batches : int;
+  mutable s_actions_resent : int;
+}
+
+type t = {
+  sim : Sim.Engine.t;
+  node : Node_id.t;
+  persist : Persist.t;
+  weights : Quorum.weights;
+  quorum_policy : Quorum.policy;
+  stats : stats;
+  cb : callbacks;
+  mutable state : engine_state;
+  mutable halted : bool;
+  queue : Action_queue.t;
+  red_cut : (Node_id.t, int) Hashtbl.t;
+  green_cut : (Node_id.t, int) Hashtbl.t; (* per creator: green prefix index *)
+  green_counts : (Node_id.t, int) Hashtbl.t;
+  green_lines : (Node_id.t, Action.Id.t) Hashtbl.t;
+  pending_red : (Node_id.t, (int, Action.t) Hashtbl.t) Hashtbl.t;
+  mutable pending_green : (int * Action.t) list;
+  mutable ongoing : Action.t list; (* own undelivered actions, oldest first *)
+  mutable action_index : int;
+  mutable known_servers : Node_id.Set.t;
+  mutable prim : prim_component;
+  mutable vulnerable : vulnerable;
+  mutable attempt : int;
+  mutable yellow : yellow;
+  (* per-configuration state *)
+  mutable conf : Endpoint.view option;
+  mutable states : state_msg Node_id.Map.t;
+  mutable knowledge : Knowledge.t option;
+  mutable exchange_done : bool;
+  mutable cpc_received : Node_id.Set.t;
+  mutable pending_cpcs : (Node_id.t * Conf_id.t * bool) list;
+  mutable buffered : buffered_request list; (* newest first *)
+  mutable era : int; (* bumped on every view event; guards sync continuations *)
+}
+
+let node t = t.node
+let state t = t.state
+let halted t = t.halted
+let green_count t = Action_queue.green_count t.queue
+let green_actions t = Action_queue.greens_from t.queue 0
+let red_actions t = Action_queue.red_actions t.queue
+let green_line t = Action_queue.green_line t.queue
+let red_cut t s = match Hashtbl.find_opt t.red_cut s with Some c -> c | None -> 0
+
+let green_cut_map t =
+  Hashtbl.fold (fun s c acc -> Node_id.Map.add s c acc) t.green_cut
+    Node_id.Map.empty
+let known_servers t = t.known_servers
+let prim_component t = t.prim
+let vulnerable t = t.vulnerable
+let yellow t = t.yellow
+
+let in_primary t =
+  (not t.halted)
+  && match t.state with Reg_prim | Trans_prim -> true | _ -> false
+
+let white_line t =
+  Node_id.Set.fold
+    (fun s acc ->
+      let c = match Hashtbl.find_opt t.green_counts s with Some c -> c | None -> 0 in
+      min acc c)
+    t.known_servers (Action_queue.green_count t.queue)
+
+let set_state t s =
+  if t.state <> s then begin
+    Log.debug (fun m ->
+        m "n%d: %a -> %a" t.node pp_engine_state t.state pp_engine_state s);
+    t.state <- s;
+    t.cb.on_state_change s
+  end
+
+let meta_of t =
+  {
+    m_prim = t.prim;
+    m_vulnerable = t.vulnerable;
+    m_attempt = t.attempt;
+    m_yellow = t.yellow;
+    m_servers = t.known_servers;
+  }
+
+let log_meta t = Persist.log_meta t.persist (meta_of t)
+
+(* Sync to disk, then continue — unless the configuration changed (the
+   paper's process would still be blocked inside fsync when the view
+   change arrives; the continuation is then obsolete). *)
+let sync_then_era t k =
+  let era = t.era in
+  Persist.sync t.persist (fun () -> if era = t.era && not t.halted then k ())
+
+let sync_then t k = Persist.sync t.persist (fun () -> if not t.halted then k ())
+
+let send_payload t ~service p =
+  t.cb.send ~service ~size:(payload_size p) p
+
+(* ------------------------------------------------------------------ *)
+(* Marking (paper CodeSegments A.14 and 5.1)                           *)
+
+let note_own_green t pos (id : Action.Id.t) =
+  Hashtbl.replace t.green_counts t.node pos;
+  Hashtbl.replace t.green_lines t.node id;
+  Hashtbl.replace t.green_cut id.server id.index
+
+(* MarkRed.  Returns [true] when the action is newly accepted; gaps are
+   buffered until the missing predecessors arrive (retransmissions from
+   different duty holders may interleave). *)
+let rec mark_red t (a : Action.t) =
+  let creator = a.id.server in
+  let cut = red_cut t creator in
+  if a.id.index = cut + 1 then begin
+    Hashtbl.replace t.red_cut creator (cut + 1);
+    Persist.log_red t.persist a;
+    Action_queue.add_red t.queue a;
+    if Node_id.equal creator t.node then
+      t.ongoing <-
+        List.filter (fun o -> not (Action.Id.equal o.Action.id a.id)) t.ongoing;
+    t.cb.on_red a;
+    drain_pending_red t creator;
+    true
+  end
+  else if a.id.index <= cut then false (* duplicate *)
+  else begin
+    let tbl =
+      match Hashtbl.find_opt t.pending_red creator with
+      | Some tbl -> tbl
+      | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace t.pending_red creator tbl;
+        tbl
+    in
+    Hashtbl.replace tbl a.id.index a;
+    false
+  end
+
+and drain_pending_red t creator =
+  match Hashtbl.find_opt t.pending_red creator with
+  | None -> ()
+  | Some tbl -> (
+    let next = red_cut t creator + 1 in
+    match Hashtbl.find_opt tbl next with
+    | Some a ->
+      Hashtbl.remove tbl next;
+      ignore (mark_red t a)
+    | None -> ())
+
+(* MarkGreen, including the dynamic-reconfiguration handling of
+   PERSISTENT_JOIN / PERSISTENT_LEAVE (CodeSegment 5.1). *)
+let mark_green t (a : Action.t) =
+  ignore (mark_red t a);
+  if not (Action_queue.is_green t.queue a.id) then begin
+    (* FIFO per creator makes green prefixes per creator contiguous; a
+       green marking can therefore never jump over a missing red. *)
+    if a.id.index > red_cut t a.id.server then
+      invalid_arg "Engine.mark_green: gap below a green action";
+    let pos = Action_queue.append_green t.queue a in
+    Persist.log_green t.persist a.id;
+    note_own_green t pos a.id;
+    (match a.kind with
+    | Action.Join joiner when not (Node_id.Set.mem joiner t.known_servers) ->
+      t.known_servers <- Node_id.Set.add joiner t.known_servers;
+      Hashtbl.replace t.green_counts joiner pos;
+      Hashtbl.replace t.green_lines joiner a.id;
+      log_meta t;
+      if Node_id.equal a.id.server t.node then
+        t.cb.on_transfer_request ~joiner ~join_green_count:pos
+    | Action.Join _ -> () (* duplicate announcement: first one counted *)
+    | Action.Leave leaver when Node_id.Set.mem leaver t.known_servers ->
+      t.known_servers <- Node_id.Set.remove leaver t.known_servers;
+      log_meta t;
+      if Node_id.equal leaver t.node then begin
+        t.halted <- true;
+        t.cb.on_self_leave ()
+      end
+    | Action.Leave _ -> ()
+    | _ -> ());
+    t.cb.on_green a
+  end
+
+let mark_yellow t (a : Action.t) =
+  ignore (mark_red t a);
+  if
+    (not (Action_queue.is_green t.queue a.id))
+    && not (List.exists (Action.Id.equal a.id) t.yellow.y_set)
+  then t.yellow <- { t.yellow with y_set = t.yellow.y_set @ [ a.id ] }
+
+(* ------------------------------------------------------------------ *)
+(* Install (paper CodeSegment A.10)                                    *)
+
+let install t =
+  t.stats.s_installs <- t.stats.s_installs + 1;
+  Log.info (fun m ->
+      m "n%d: installing primary %d (attempt %d, %d members)" t.node
+        (t.prim.prim_index + 1) t.attempt
+        (Node_id.Set.cardinal t.vulnerable.v_set));
+  if t.yellow.y_valid then
+    List.iter
+      (fun id ->
+        if not (Action_queue.is_green t.queue id) then
+          match Action_queue.find t.queue id with
+          | Some a -> mark_green t a (* OR-1.2 *)
+          | None -> ())
+      t.yellow.y_set;
+  t.yellow <- invalid_yellow;
+  t.prim <-
+    {
+      prim_index = t.prim.prim_index + 1;
+      prim_attempt = t.attempt;
+      prim_servers = t.vulnerable.v_set;
+    };
+  t.attempt <- 0;
+  let reds =
+    List.sort
+      (fun a b -> Action.Id.compare a.Action.id b.Action.id)
+      (Action_queue.red_actions t.queue)
+  in
+  List.iter (mark_green t) reds; (* OR-2 *)
+  log_meta t;
+  sync_then t (fun () -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Client requests (paper A.1/A.2 Client_req, A.8)                     *)
+
+let create_and_log t ~client ~semantics ~size ~kind ~on_created =
+  t.action_index <- t.action_index + 1;
+  let a =
+    Action.make ~client ~semantics
+      ~green_line:(Action_queue.green_line t.queue)
+      ~size ~server:t.node ~index:t.action_index kind
+  in
+  t.ongoing <- t.ongoing @ [ a ];
+  Persist.log_ongoing t.persist a;
+  on_created a.Action.id;
+  a
+
+let submit t ?(client = 0) ?(semantics = Action.Strict) ?(size = 200) ~kind
+    ~on_created () =
+  if not t.halted then
+    match t.state with
+    | Reg_prim | Non_prim ->
+      let a = create_and_log t ~client ~semantics ~size ~kind ~on_created in
+      sync_then t (fun () ->
+          send_payload t ~service:Endpoint.Safe (Action_msg a))
+    | Trans_prim | Exchange_states | Exchange_actions | Construct | No_state
+    | Un_state ->
+      t.buffered <-
+        {
+          bq_client = client;
+          bq_semantics = semantics;
+          bq_size = size;
+          bq_kind = kind;
+          bq_on_created = on_created;
+        }
+        :: t.buffered
+
+(* Actions created here but never delivered back (the group
+   communication drops unordered messages at a view change) are re-sent
+   from the ongoing queue after every exchange; duplicate deliveries are
+   shed by the red-cut check in MarkRed. *)
+let resend_ongoing t =
+  t.stats.s_actions_resent <- t.stats.s_actions_resent + List.length t.ongoing;
+  List.iter
+    (fun a -> send_payload t ~service:Endpoint.Safe (Action_msg a))
+    t.ongoing
+
+let handle_buffered t =
+  let requests = List.rev t.buffered in
+  t.buffered <- [];
+  if requests <> [] then begin
+    let actions =
+      List.map
+        (fun r ->
+          create_and_log t ~client:r.bq_client ~semantics:r.bq_semantics
+            ~size:r.bq_size ~kind:r.bq_kind ~on_created:r.bq_on_created)
+        requests
+    in
+    sync_then t (fun () ->
+        List.iter
+          (fun a -> send_payload t ~service:Endpoint.Safe (Action_msg a))
+          actions)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* State exchange (paper A.4, A.5, A.6, A.7)                           *)
+
+let my_state_msg t conf_id =
+  {
+    sm_server = t.node;
+    sm_conf = conf_id;
+    sm_red_cut =
+      Hashtbl.fold (fun s c acc -> Node_id.Map.add s c acc) t.red_cut
+        Node_id.Map.empty;
+    sm_green_count = Action_queue.green_count t.queue;
+    sm_green_line = Action_queue.green_line t.queue;
+    sm_green_floor = Action_queue.green_floor t.queue;
+    sm_attempt = t.attempt;
+    sm_prim = t.prim;
+    sm_vulnerable = t.vulnerable;
+    sm_yellow = t.yellow;
+  }
+
+let is_quorum t knowledge members =
+  let vulnerable_present =
+    Node_id.Set.exists
+      (fun m ->
+        match Node_id.Map.find_opt m knowledge.Knowledge.k_vulnerable with
+        | Some v -> v.v_valid
+        | None -> false)
+      members
+  in
+  Quorum.policy_quorum t.quorum_policy ~weights:t.weights
+    ~prev:knowledge.Knowledge.k_prim.prim_servers ~all:t.known_servers
+    ~vulnerable_present members
+
+let retrans_batch = 32
+let retrans_pace = Sim.Time.of_ms 1.
+
+(* Send one retransmission batch per pacing tick; abandon on view change. *)
+let rec send_paced t payloads =
+  match payloads with
+  | [] -> ()
+  | payload :: rest ->
+    t.stats.s_retrans_batches <- t.stats.s_retrans_batches + 1;
+    send_payload t ~service:Endpoint.Agreed payload;
+    if rest <> [] then begin
+      let era = t.era in
+      ignore
+        (Sim.Engine.schedule t.sim ~delay:retrans_pace (fun () ->
+             if era = t.era && not t.halted then send_paced t rest))
+    end
+
+let rec shift_to_exchange_states t =
+  t.states <- Node_id.Map.empty;
+  t.knowledge <- None;
+  t.exchange_done <- false;
+  t.cpc_received <- Node_id.Set.empty;
+  t.pending_cpcs <- [];
+  t.stats.s_exchanges <- t.stats.s_exchanges + 1;
+  set_state t Exchange_states;
+  log_meta t;
+  match t.conf with
+  | None -> ()
+  | Some view ->
+    sync_then_era t (fun () ->
+        send_payload t ~service:Endpoint.Agreed
+          (State_msg (my_state_msg t view.Endpoint.id)))
+
+and check_all_states t =
+  match t.conf with
+  | None -> ()
+  | Some view ->
+    if
+      Node_id.Set.for_all
+        (fun m -> Node_id.Map.mem m t.states)
+        view.Endpoint.members
+    then begin
+      let knowledge = Knowledge.compute ~members:view.Endpoint.members t.states in
+      t.knowledge <- Some knowledge;
+      (* Retransmit my share: green segments of the plan, then red duties
+         ("if most updated server: Retrans()").  Batched and paced: a
+         long-partitioned member may need thousands of actions, and an
+         unthrottled burst would clog receivers' CPUs long enough to trip
+         their failure detectors (a livelock a real engine avoids with
+         flow-controlled state transfer). *)
+      let green_batches =
+        List.concat_map
+          (fun (source, from_pos, to_pos) ->
+            if Node_id.equal source t.node then begin
+              let rec batches pos acc =
+                if pos >= to_pos then List.rev acc
+                else begin
+                  let upper = min to_pos (pos + retrans_batch) in
+                  let actions =
+                    List.init (upper - pos) (fun i ->
+                        Action_queue.nth_green t.queue (pos + 1 + i))
+                  in
+                  batches upper
+                    (Retrans_green { g_from = pos; g_actions = actions } :: acc)
+                end
+              in
+              batches from_pos []
+            end
+            else [])
+          knowledge.Knowledge.k_green_plan
+      in
+      let duties =
+        Knowledge.red_duties ~self:t.node ~knowledge ~states:t.states
+      in
+      let red_actions =
+        List.concat_map
+          (fun (creator, low, high) ->
+            List.filter_map
+              (fun index ->
+                match
+                  Action_queue.find t.queue { Action.Id.server = creator; index }
+                with
+                | Some a when not (Action_queue.is_green t.queue a.Action.id) ->
+                  Some a
+                | _ -> None (* green bodies travel via the green plan *))
+              (List.init (high - low) (fun i -> low + 1 + i)))
+          duties
+      in
+      let rec red_batches = function
+        | [] -> []
+        | actions ->
+          let batch = List.filteri (fun i _ -> i < retrans_batch) actions in
+          let rest =
+            List.filteri (fun i _ -> i >= retrans_batch) actions
+          in
+          Retrans_red batch :: red_batches rest
+      in
+      send_paced t (green_batches @ red_batches red_actions);
+      set_state t Exchange_actions;
+      check_end_of_retrans t
+    end
+
+and check_end_of_retrans t =
+  if t.state = Exchange_actions && not t.exchange_done then
+    match t.knowledge with
+    | Some knowledge
+      when Knowledge.exchange_finished
+             ~green_count:(Action_queue.green_count t.queue)
+             ~red_cut:(red_cut t) knowledge ->
+      t.exchange_done <- true;
+      end_of_retrans t knowledge
+    | _ -> ()
+
+and end_of_retrans t knowledge =
+  match t.conf with
+  | None -> ()
+  | Some view ->
+    (* Incorporate the exchanged green lines. *)
+    Node_id.Map.iter
+      (fun m sm ->
+        let current =
+          match Hashtbl.find_opt t.green_counts m with Some c -> c | None -> 0
+        in
+        if sm.sm_green_count > current then begin
+          Hashtbl.replace t.green_counts m sm.sm_green_count;
+          match sm.sm_green_line with
+          | Some id -> Hashtbl.replace t.green_lines m id
+          | None -> ()
+        end)
+      t.states;
+    (* Adopt the computed knowledge. *)
+    t.prim <- knowledge.Knowledge.k_prim;
+    t.attempt <- knowledge.Knowledge.k_attempt;
+    t.yellow <- knowledge.Knowledge.k_yellow;
+    (match Node_id.Map.find_opt t.node knowledge.Knowledge.k_vulnerable with
+    | Some v -> t.vulnerable <- v
+    | None -> ());
+    if is_quorum t knowledge view.Endpoint.members then begin
+      t.attempt <- t.attempt + 1;
+      t.vulnerable <-
+        {
+          v_valid = true;
+          v_prim_index = t.prim.prim_index;
+          v_attempt = t.attempt;
+          v_set = view.Endpoint.members;
+          v_bits = Node_id.Set.empty;
+        };
+      log_meta t;
+      sync_then_era t (fun () ->
+          resend_ongoing t;
+          send_payload t ~service:Endpoint.Safe
+            (Cpc { cpc_server = t.node; cpc_conf = view.Endpoint.id });
+          set_state t Construct;
+          replay_pending_cpcs t)
+    end
+    else begin
+      log_meta t;
+      sync_then_era t (fun () ->
+          set_state t Non_prim;
+          resend_ongoing t;
+          handle_buffered t)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Construct / No / Un (paper A.9, A.11, A.12)                         *)
+
+and note_cpc t server ~in_regular =
+  t.cpc_received <- Node_id.Set.add server t.cpc_received;
+  if in_regular && t.vulnerable.v_valid then
+    t.vulnerable <-
+      { t.vulnerable with v_bits = Node_id.Set.add server t.vulnerable.v_bits }
+
+and all_cpcs_in t =
+  match t.conf with
+  | None -> false
+  | Some view -> Node_id.Set.subset view.Endpoint.members t.cpc_received
+
+and on_cpc t server conf_id ~in_regular =
+  match t.conf with
+  | Some view when Conf_id.equal view.Endpoint.id conf_id -> (
+    match t.state with
+    | Construct ->
+      note_cpc t server ~in_regular;
+      if all_cpcs_in t then begin
+        (* Everyone synchronised during the exchange: after install all
+           members share this green line (A.9). *)
+        let my_count = Action_queue.green_count t.queue in
+        let my_line = Action_queue.green_line t.queue in
+        Node_id.Set.iter
+          (fun s ->
+            Hashtbl.replace t.green_counts s my_count;
+            match my_line with
+            | Some id -> Hashtbl.replace t.green_lines s id
+            | None -> ())
+          view.Endpoint.members;
+        install t;
+        set_state t Reg_prim;
+        handle_buffered t
+      end
+    | No_state ->
+      note_cpc t server ~in_regular;
+      if all_cpcs_in t then set_state t Un_state
+    | Exchange_actions ->
+      (* A CPC can overtake our own end-of-retrans disk sync; it belongs
+         to this configuration and is replayed on entering Construct. *)
+      t.pending_cpcs <- (server, conf_id, in_regular) :: t.pending_cpcs
+    | Exchange_states | Reg_prim | Trans_prim | Un_state | Non_prim -> ())
+  | _ -> ()
+
+and replay_pending_cpcs t =
+  let pending = List.rev t.pending_cpcs in
+  t.pending_cpcs <- [];
+  List.iter
+    (fun (server, conf_id, in_regular) -> on_cpc t server conf_id ~in_regular)
+    pending
+
+(* ------------------------------------------------------------------ *)
+(* Event dispatch                                                      *)
+
+let on_action t (a : Action.t) ~in_regular =
+  match t.state with
+  | Reg_prim ->
+    assert in_regular;
+    mark_green t a;
+    (match a.green_line with
+    | Some gl -> Hashtbl.replace t.green_lines a.id.server gl
+    | None -> ()) (* OR-1.1 *)
+  | Trans_prim -> mark_yellow t a
+  | Un_state ->
+    (* 1b: someone installed the primary and generated this action before
+       the cascading failure; act as if installing too (A.12). *)
+    install t;
+    mark_yellow t a;
+    set_state t Trans_prim
+  | Non_prim | Exchange_states | Exchange_actions -> ignore (mark_red t a)
+  | Construct | No_state ->
+    (* Total order makes this unreachable (actions are ordered after the
+       CPCs that precede them); accept defensively as red. *)
+    ignore (mark_red t a)
+
+let rec on_retrans_green t g_index (a : Action.t) =
+  let count = Action_queue.green_count t.queue in
+  if g_index = count + 1 then begin
+    mark_green t a;
+    (* Drain any buffered successors. *)
+    let next = Action_queue.green_count t.queue + 1 in
+    match List.assoc_opt next t.pending_green with
+    | Some a' ->
+      t.pending_green <- List.remove_assoc next t.pending_green;
+      on_retrans_green t next a'
+    | None -> check_end_of_retrans t
+  end
+  else if g_index > count + 1 then
+    t.pending_green <- (g_index, a) :: t.pending_green
+  else check_end_of_retrans t (* duplicate *)
+
+let on_retrans_red t a =
+  ignore (mark_red t a);
+  check_end_of_retrans t
+
+let on_state_msg t sm =
+  match (t.state, t.conf) with
+  | Exchange_states, Some view when Conf_id.equal view.Endpoint.id sm.sm_conf ->
+    t.states <- Node_id.Map.add sm.sm_server sm t.states;
+    check_all_states t
+  | _ -> ()
+
+let on_trans_conf t =
+  t.era <- t.era + 1;
+  match t.state with
+  | Reg_prim -> set_state t Trans_prim
+  | Construct -> set_state t No_state
+  | Exchange_states | Exchange_actions -> set_state t Non_prim
+  | Trans_prim | No_state | Un_state | Non_prim -> ()
+
+let on_reg_conf t view =
+  t.era <- t.era + 1;
+  t.conf <- Some view;
+  (match t.state with
+  | Trans_prim ->
+    (* A.3: the installed primary's epoch ended; yellow knowledge becomes
+       transferable, the installation attempt is durably resolved. *)
+    t.vulnerable <- invalid_vulnerable;
+    t.yellow <- { t.yellow with y_valid = true }
+  | No_state ->
+    (* Nobody can have installed: every server lacked some CPC (A.11). *)
+    t.vulnerable <- invalid_vulnerable
+  | Un_state | Non_prim | Reg_prim | Exchange_states | Exchange_actions
+  | Construct -> ());
+  shift_to_exchange_states t
+
+let handle_event t event =
+  if not t.halted then
+    match event with
+    | Endpoint.Reg_conf view -> on_reg_conf t view
+    | Endpoint.Trans_conf _ -> on_trans_conf t
+    | Endpoint.Deliver d -> (
+      match d.Endpoint.payload with
+      | Action_msg a -> on_action t a ~in_regular:d.in_regular
+      | Retrans_green { g_from; g_actions } ->
+        List.iteri
+          (fun i a -> on_retrans_green t (g_from + 1 + i) a)
+          g_actions
+      | Retrans_red actions -> List.iter (on_retrans_red t) actions
+      | State_msg sm -> on_state_msg t sm
+      | Cpc { cpc_server; cpc_conf } ->
+        on_cpc t cpc_server cpc_conf ~in_regular:d.in_regular)
+
+(* ------------------------------------------------------------------ *)
+(* Construction and recovery                                           *)
+
+let make_blank ?(weights = Quorum.no_weights)
+    ?(quorum_policy = Quorum.Dynamic_linear) ~sim ~node ~servers ~persist
+    ~callbacks () =
+  {
+    sim;
+    node;
+    persist;
+    weights;
+    quorum_policy;
+    stats =
+      { s_exchanges = 0; s_installs = 0; s_retrans_batches = 0; s_actions_resent = 0 };
+    cb = callbacks;
+    state = Non_prim;
+    halted = false;
+    queue = Action_queue.create ();
+    red_cut = Hashtbl.create 16;
+    green_cut = Hashtbl.create 16;
+    green_counts = Hashtbl.create 16;
+    green_lines = Hashtbl.create 16;
+    pending_red = Hashtbl.create 16;
+    pending_green = [];
+    ongoing = [];
+    action_index = 0;
+    known_servers = servers;
+    prim = initial_prim ~servers;
+    vulnerable = invalid_vulnerable;
+    attempt = 0;
+    yellow = invalid_yellow;
+    conf = None;
+    states = Node_id.Map.empty;
+    knowledge = None;
+    exchange_done = false;
+    cpc_received = Node_id.Set.empty;
+    pending_cpcs = [];
+    buffered = [];
+    era = 0;
+  }
+
+let create ?weights ?quorum_policy ~sim ~node ~servers ~persist ~callbacks () =
+  let t =
+    make_blank ?weights ?quorum_policy ~sim ~node ~servers ~persist ~callbacks ()
+  in
+  log_meta t;
+  t
+
+let stats t = t.stats
+
+let create_from_snapshot ?weights ~sim ~node ~servers ~snapshot ~green_count
+    ~green_line ~red_cut ~prim ~persist ~callbacks () =
+  let t = make_blank ?weights ~sim ~node ~servers ~persist ~callbacks () in
+  Action_queue.set_join_floor t.queue ~count:green_count ~line:green_line;
+  Node_id.Map.iter
+    (fun s c ->
+      Hashtbl.replace t.red_cut s c;
+      Hashtbl.replace t.green_cut s c)
+    red_cut;
+  t.prim <- prim;
+  Hashtbl.replace t.green_counts node green_count;
+  (match green_line with
+  | Some id -> Hashtbl.replace t.green_lines node id
+  | None -> ());
+  (* The transferred state is this replica's first checkpoint: crash
+     recovery restores it from disk rather than replaying actions it
+     never held. *)
+  Persist.log_checkpoint t.persist
+    {
+      Persist.c_snapshot = snapshot;
+      c_green_count = green_count;
+      c_green_line = green_line;
+      c_green_cut = red_cut;
+      c_meta = meta_of t;
+    };
+  sync_then t (fun () -> ());
+  t
+
+let recover ?weights ~sim ~node ~servers ~persist ~callbacks () =
+  let r = Persist.recover ~self:node persist in
+  let t = make_blank ?weights ~sim ~node ~servers ~persist ~callbacks () in
+  (match r.Persist.r_meta with
+  | Some m ->
+    t.prim <- m.m_prim;
+    t.vulnerable <- m.m_vulnerable;
+    t.attempt <- m.m_attempt;
+    t.yellow <- m.m_yellow;
+    t.known_servers <- m.m_servers
+  | None -> ());
+  (match r.Persist.r_checkpoint with
+  | Some c ->
+    Action_queue.set_join_floor t.queue ~count:c.Persist.c_green_count
+      ~line:c.Persist.c_green_line;
+    Hashtbl.replace t.green_counts node c.Persist.c_green_count;
+    (match c.Persist.c_green_line with
+    | Some id -> Hashtbl.replace t.green_lines node id
+    | None -> ());
+    Node_id.Map.iter
+      (fun s cut -> Hashtbl.replace t.green_cut s cut)
+      c.Persist.c_green_cut
+  | None -> ());
+  (* Rebuild the queue without firing application callbacks: the caller
+     replays the returned green prefix into its database itself. *)
+  List.iter
+    (fun a ->
+      let pos = Action_queue.append_green t.queue a in
+      note_own_green t pos a.Action.id)
+    r.Persist.r_green;
+  List.iter (fun a -> Action_queue.add_red t.queue a) r.Persist.r_red;
+  Node_id.Map.iter (fun s c -> Hashtbl.replace t.red_cut s c) r.Persist.r_red_cut;
+  t.action_index <- r.Persist.r_action_index;
+  (* A.13: re-inject own undelivered actions as red. *)
+  List.iter
+    (fun a ->
+      t.ongoing <- t.ongoing @ [ a ];
+      ignore (mark_red t a))
+    r.Persist.r_ongoing;
+  log_meta t;
+  sync_then t (fun () -> ());
+  ( t,
+    Option.map (fun c -> c.Persist.c_snapshot) r.Persist.r_checkpoint,
+    r.Persist.r_green )
+
+(* A durable checkpoint: the caller supplies the database snapshot taken
+   at the current green position; the log is then compacted and white
+   action bodies (green everywhere) are dropped from memory. *)
+let checkpoint t snapshot =
+  Persist.log_checkpoint t.persist
+    {
+      Persist.c_snapshot = snapshot;
+      c_green_count = Action_queue.green_count t.queue;
+      c_green_line = Action_queue.green_line t.queue;
+      c_green_cut = green_cut_map t;
+      c_meta = meta_of t;
+    };
+  sync_then t (fun () ->
+      Persist.compact t.persist;
+      ignore (Action_queue.discard_below t.queue (white_line t)))

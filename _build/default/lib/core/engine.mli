@@ -1,0 +1,141 @@
+open Repro_net
+open Repro_gcs
+open Repro_db
+
+(** The replication engine: the paper's algorithm (Figure 4, Appendix A,
+    CodeSegments 5.1/5.2).
+
+    One engine runs at each replica, above an EVS group-communication
+    endpoint and a write-ahead log, and below the database.  It turns the
+    stream of endpoint events into a global persistent total order of
+    actions: actions delivered safely in the primary component turn green
+    immediately (no per-action end-to-end acknowledgement); actions
+    delivered elsewhere stay red until knowledge propagates; view changes
+    trigger one state-exchange round, retransmission, quorum evaluation
+    (dynamic linear voting) and, when quorate, the Create-Primary-
+    Component round guarded by the [vulnerable] record. *)
+
+type callbacks = {
+  on_green : Action.t -> unit;
+      (** the action reached its place in the global order: apply it *)
+  on_red : Action.t -> unit;
+      (** the action was accepted locally (dirty knowledge) *)
+  on_transfer_request : joiner:Node_id.t -> join_green_count:int -> unit;
+      (** a [Join] created by this server turned green: this server is
+          the representative and must snapshot and transfer state *)
+  on_self_leave : unit -> unit;
+      (** this server's [Leave] turned green: it exits the system *)
+  on_state_change : Types.engine_state -> unit;
+  send : service:Endpoint.service -> size:int -> Types.payload -> unit;
+      (** multicast through the group communication layer *)
+}
+
+type t
+
+(** Cumulative counters, for observability and tests. *)
+type stats = {
+  mutable s_exchanges : int;  (** state-exchange rounds started *)
+  mutable s_installs : int;  (** primary components installed here *)
+  mutable s_retrans_batches : int;  (** retransmission batches sent *)
+  mutable s_actions_resent : int;  (** ongoing actions re-multicast *)
+}
+
+val create :
+  ?weights:Quorum.weights ->
+  ?quorum_policy:Quorum.policy ->
+  sim:Repro_sim.Engine.t ->
+  node:Node_id.t ->
+  servers:Node_id.Set.t ->
+  persist:Persist.t ->
+  callbacks:callbacks ->
+  unit ->
+  t
+(** A fresh replica of the initial server set [servers]; the initial
+    primary component is the full set with index 0, so the first quorate
+    component installs primary #1. *)
+
+val create_from_snapshot :
+  ?weights:Quorum.weights ->
+  sim:Repro_sim.Engine.t ->
+  node:Node_id.t ->
+  servers:Node_id.Set.t ->
+  snapshot:Database.snapshot ->
+  green_count:int ->
+  green_line:Action.Id.t option ->
+  red_cut:int Node_id.Map.t ->
+  prim:Types.prim_component ->
+  persist:Persist.t ->
+  callbacks:callbacks ->
+  unit ->
+  t
+(** A dynamically instantiated replica (paper CodeSegment 5.2): its green
+    prefix starts at the transferred [green_count] with no action bodies
+    (the database state arrived by [snapshot], which is logged as this
+    replica's first durable checkpoint). *)
+
+val recover :
+  ?weights:Quorum.weights ->
+  sim:Repro_sim.Engine.t ->
+  node:Node_id.t ->
+  servers:Node_id.Set.t ->
+  persist:Persist.t ->
+  callbacks:callbacks ->
+  unit ->
+  t * Database.snapshot option * Action.t list
+(** Rebuilds the engine from the durable log (paper CodeSegment A.13):
+    returns the engine, the latest checkpoint's database snapshot (if
+    any) and the green actions after it, in green order, so the caller
+    can rebuild its database.  Ongoing own actions past the durable red
+    cut are re-marked red. *)
+
+val checkpoint : t -> Database.snapshot -> unit
+(** Records a durable checkpoint of the engine's green knowledge paired
+    with the database [snapshot] at the same point, then compacts the
+    write-ahead log and discards stored bodies of white actions (green
+    at every known server).  Call with a snapshot taken at the current
+    green position. *)
+
+(* --- Event input -------------------------------------------------- *)
+
+val handle_event : t -> Types.payload Endpoint.event -> unit
+(** Feed every event of the group-communication endpoint here. *)
+
+val submit :
+  t ->
+  ?client:int ->
+  ?semantics:Action.semantics ->
+  ?size:int ->
+  kind:Action.kind ->
+  on_created:(Action.Id.t -> unit) ->
+  unit ->
+  unit
+(** A client request: creates the action now when in [Reg_prim] or
+    [Non_prim] (write to the ongoing queue, forced sync, then multicast)
+    and buffers it otherwise; [on_created] reports the assigned id. *)
+
+(* --- Observation --------------------------------------------------- *)
+
+val node : t -> Node_id.t
+val state : t -> Types.engine_state
+val halted : t -> bool
+val green_count : t -> int
+val green_actions : t -> Action.t list
+val red_actions : t -> Action.t list
+val green_line : t -> Action.Id.t option
+val red_cut : t -> Node_id.t -> int
+
+val green_cut_map : t -> int Node_id.Map.t
+(** Per creator, the index of its last action inside the green prefix —
+    the red cut a snapshot-instantiated replica starts from. *)
+
+val known_servers : t -> Node_id.Set.t
+val prim_component : t -> Types.prim_component
+val vulnerable : t -> Types.vulnerable
+val yellow : t -> Types.yellow
+val white_line : t -> int
+(** Green positions known green at every known server (discardable). *)
+
+val in_primary : t -> bool
+(** Whether this replica currently operates in the primary component. *)
+
+val stats : t -> stats

@@ -1,0 +1,147 @@
+open Repro_net
+open Repro_storage
+open Repro_db
+
+type checkpoint = {
+  c_snapshot : Database.snapshot;
+  c_green_count : int;
+  c_green_line : Action.Id.t option;
+  c_green_cut : int Node_id.Map.t;
+  c_meta : Types.meta;
+}
+
+type entry =
+  | E_ongoing of Action.t
+  | E_red of Action.t
+  | E_green of Action.Id.t
+  | E_meta of Types.meta
+  | E_checkpoint of checkpoint
+
+type t = { log : entry Wlog.t; disk : Disk.t }
+
+let create ~engine ~disk () = { log = Wlog.create ~engine ~disk (); disk }
+let disk t = t.disk
+let log_ongoing t a = Wlog.append t.log (E_ongoing a)
+let log_red t a = Wlog.append t.log (E_red a)
+let log_green t id = Wlog.append t.log (E_green id)
+let log_meta t m = Wlog.append t.log (E_meta m)
+let log_checkpoint t c = Wlog.append t.log (E_checkpoint c)
+let sync t k = Wlog.sync t.log k
+let crash t = Wlog.crash t.log
+let entries_logged t = Wlog.length t.log
+
+type recovered = {
+  r_meta : Types.meta option;
+  r_green : Action.t list;
+  r_checkpoint : checkpoint option;
+  r_red : Action.t list;
+  r_ongoing : Action.t list;
+  r_red_cut : int Node_id.Map.t;
+  r_action_index : int;
+}
+
+let cut_of map server =
+  match Node_id.Map.find_opt server map with Some c -> c | None -> 0
+
+let recover ~self t =
+  let entries = Wlog.recover t.log in
+  let bodies : (Node_id.t * int, Action.t) Hashtbl.t = Hashtbl.create 256 in
+  let greened : (Node_id.t * int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let key (id : Action.Id.t) = (id.server, id.index) in
+  let meta = ref None in
+  let checkpoint = ref None in
+  let green_rev = ref [] in
+  let red_order_rev = ref [] in
+  let ongoing_rev = ref [] in
+  let red_cut = ref Node_id.Map.empty in
+  let action_index = ref 0 in
+  let note_cut (id : Action.Id.t) =
+    if id.index > cut_of !red_cut id.server then
+      red_cut := Node_id.Map.add id.server id.index !red_cut;
+    if Node_id.equal id.server self && id.index > !action_index then
+      action_index := id.index
+  in
+  List.iter
+    (fun entry ->
+      match entry with
+      | E_ongoing a ->
+        ongoing_rev := a :: !ongoing_rev;
+        if a.Action.id.server = self && a.Action.id.index > !action_index then
+          action_index := a.Action.id.index
+      | E_red a ->
+        Hashtbl.replace bodies (key a.Action.id) a;
+        red_order_rev := a.Action.id :: !red_order_rev;
+        note_cut a.Action.id
+      | E_green id -> (
+        match Hashtbl.find_opt bodies (key id) with
+        | Some a ->
+          if not (Hashtbl.mem greened (key id)) then begin
+            Hashtbl.replace greened (key id) ();
+            green_rev := a :: !green_rev
+          end
+        | None -> () (* body lost with the unflushed tail: treated as unknown *))
+      | E_meta m -> meta := Some m
+      | E_checkpoint c ->
+        (* The checkpoint summarises everything before it: the green
+           prefix lives in its snapshot, red actions it covers are green
+           inside it. *)
+        checkpoint := Some c;
+        meta := Some c.c_meta;
+        green_rev := [];
+        Hashtbl.reset greened;
+        red_order_rev :=
+          List.filter
+            (fun (id : Action.Id.t) -> id.index > cut_of c.c_green_cut id.server)
+            !red_order_rev;
+        red_cut :=
+          Node_id.Map.union (fun _ a b -> Some (max a b)) c.c_green_cut !red_cut)
+    entries;
+  let r_red =
+    List.rev !red_order_rev
+    |> List.filter_map (fun id ->
+           if Hashtbl.mem greened (key id) then None
+           else Hashtbl.find_opt bodies (key id))
+  in
+  let r_ongoing =
+    List.rev !ongoing_rev
+    |> List.filter (fun a -> a.Action.id.index > cut_of !red_cut self)
+  in
+  {
+    r_meta = !meta;
+    r_green = List.rev !green_rev;
+    r_checkpoint = !checkpoint;
+    r_red;
+    r_ongoing;
+    r_red_cut = !red_cut;
+    r_action_index = !action_index;
+  }
+
+(* Compaction: keep the newest checkpoint and whatever it does not
+   cover — later entries, red actions above its green cuts, and own
+   ongoing actions.  Mirrors switching to a fresh log segment whose head
+   is the checkpoint. *)
+let compact t =
+  let entries = Wlog.recover t.log in
+  let latest =
+    List.fold_left
+      (fun acc entry ->
+        match entry with E_checkpoint c -> Some c | _ -> acc)
+      None entries
+  in
+  match latest with
+  | None -> ()
+  | Some c ->
+    let covered (id : Action.Id.t) = id.index <= cut_of c.c_green_cut id.server in
+    let after_checkpoint = ref false in
+    let keep entry =
+      if !after_checkpoint then true
+      else
+        match entry with
+        | E_checkpoint c' when c' == c ->
+          after_checkpoint := true;
+          true
+        | E_checkpoint _ | E_meta _ | E_green _ -> false
+        | E_red a -> not (covered a.Action.id)
+        | E_ongoing a -> not (covered a.Action.id)
+    in
+    Wlog.compact t.log ~keep

@@ -1,0 +1,70 @@
+open Repro_net
+open Repro_storage
+open Repro_db
+
+(** The replication engine's stable storage.
+
+    A typed write-ahead log over a simulated {!Disk}.  Appends are
+    buffered; [sync] marks the paper's "** sync to disk" points
+    (group-committed with concurrent syncs on the same disk — this is
+    the engine's single forced write per action).  Red and green marks
+    are appended without forcing: their durability is covered by the
+    vulnerability mechanism, which is exactly the gap the paper's
+    [vulnerable] record exists to close.
+
+    Recovery replays the durable prefix into the full engine state:
+    per-creator red cuts, the green prefix (in green order), the
+    remaining red actions (in arrival order), the ongoing queue of own
+    actions not yet delivered, and the last meta record. *)
+
+type t
+
+val create : engine:Repro_sim.Engine.t -> disk:Disk.t -> unit -> t
+val disk : t -> Disk.t
+
+val log_ongoing : t -> Action.t -> unit
+(** A client action created at this server (its [ongoingQueue]). *)
+
+val log_red : t -> Action.t -> unit
+val log_green : t -> Action.Id.t -> unit
+val log_meta : t -> Types.meta -> unit
+
+(** A durable summary of everything up to a green position: the database
+    snapshot at that point, the green line, and the per-creator green
+    cuts.  Written by a replica instantiated from a state transfer
+    (paper CodeSegment 5.2) and periodically as a checkpoint; log entries
+    it covers can then be compacted away. *)
+type checkpoint = {
+  c_snapshot : Database.snapshot;
+  c_green_count : int;
+  c_green_line : Action.Id.t option;
+  c_green_cut : int Node_id.Map.t;
+  c_meta : Types.meta;
+}
+
+val log_checkpoint : t -> checkpoint -> unit
+
+val compact : t -> unit
+(** Drops log entries superseded by the latest checkpoint: everything
+    before it except red actions not yet inside its green cuts and own
+    ongoing actions.  Call after the checkpoint has been synced. *)
+
+val sync : t -> (unit -> unit) -> unit
+(** Force everything appended so far; callback when durable. *)
+
+val crash : t -> unit
+
+type recovered = {
+  r_meta : Types.meta option;
+  r_green : Action.t list;
+      (** green actions after the checkpoint, in green order *)
+  r_checkpoint : checkpoint option;
+      (** the latest durable checkpoint (also the state-transfer floor) *)
+  r_red : Action.t list;  (** still-red actions, in arrival order *)
+  r_ongoing : Action.t list;  (** own actions not yet delivered back *)
+  r_red_cut : int Node_id.Map.t;
+  r_action_index : int;  (** highest own action index ever created *)
+}
+
+val recover : self:Node_id.t -> t -> recovered
+val entries_logged : t -> int

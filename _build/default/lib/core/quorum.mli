@@ -1,0 +1,51 @@
+open Repro_net
+
+(** Dynamic linear voting (Jajodia & Mutchler), the paper's quorum system.
+
+    A connected component may install the next primary component iff it
+    contains a weighted majority of the membership of the *last* primary
+    component.  An exact half also qualifies when it contains the
+    highest-precedence (lowest-id, or heaviest) member — the classic
+    linear tie-breaker, which keeps quorums unique: two disjoint sets can
+    never both be quorate over the same previous primary. *)
+
+type weights = int Node_id.Map.t
+(** Per-server voting weight; servers absent from the map weigh 1. *)
+
+val no_weights : weights
+
+val weight : weights -> Node_id.t -> int
+
+val has_majority :
+  ?weights:weights -> prev:Node_id.Set.t -> Node_id.Set.t -> bool
+(** [has_majority ~prev candidate]: does [candidate] hold a strict
+    weighted majority of [prev], or exactly half including the
+    tie-breaker member? [prev] empty returns [false]. *)
+
+val is_quorum :
+  ?weights:weights ->
+  prev:Node_id.Set.t ->
+  vulnerable_present:bool ->
+  Node_id.Set.t ->
+  bool
+(** The paper's [IsQuorum]: no member of the component may be vulnerable,
+    and the component must hold a dynamic-linear-voting majority of the
+    last primary component. *)
+
+(** Which set a majority is required of.  The paper (§3.1) notes several
+    quorum systems work and picks dynamic linear voting; [Static_majority]
+    is the classic alternative — always a majority of the full replica
+    set — trading adaptivity for simplicity.  The availability ablation
+    compares them under partition churn. *)
+type policy =
+  | Dynamic_linear  (** majority of the last installed primary (paper) *)
+  | Static_majority  (** majority of the known replica set *)
+
+val policy_quorum :
+  policy ->
+  ?weights:weights ->
+  prev:Node_id.Set.t ->
+  all:Node_id.Set.t ->
+  vulnerable_present:bool ->
+  Node_id.Set.t ->
+  bool

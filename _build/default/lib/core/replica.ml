@@ -1,0 +1,515 @@
+module Sim = Repro_sim
+open Repro_net
+open Repro_gcs
+open Repro_storage
+open Repro_db
+
+let log_src = Logs.Src.create "repro.replica" ~doc:"replication server"
+
+module Log = (val Logs.src_log log_src)
+
+(* A transfer version: deterministic replicas hold identical databases at
+   the same green position, so (green position, digest) identifies the
+   snapshot content independently of which sponsor serves it — a resumed
+   transfer can continue from a *different* sponsor (paper §5.1,
+   "continue its update"). *)
+type transfer_version = { tv_green_count : int; tv_digest : int }
+
+type transfer_payload = {
+  td_green_line : Action.Id.t option;
+  td_red_cut : int Node_id.Map.t;
+  td_prim : Types.prim_component;
+  td_servers : Node_id.Set.t;
+  td_snapshot : Database.snapshot;
+}
+
+type transfer_msg =
+  | Treq of {
+      tr_joiner : Node_id.t;
+      tr_resume : (transfer_version * int) option;
+          (** version + chunks already received *)
+    }
+  | Tchunk of {
+      tc_version : transfer_version;
+      tc_index : int;  (** 0-based *)
+      tc_total : int;
+      tc_payload : transfer_payload option;  (** carried by the last chunk *)
+    }
+
+type cluster = {
+  c_sim : Sim.Engine.t;
+  c_topology : Topology.t;
+  c_net : Types.payload Endpoint.wire Network.t;
+  c_transfer : transfer_msg Network.t;
+  c_params : Params.t;
+}
+
+let make_cluster ?(net_config = Network.lan_100mbit) ?(params = Params.default)
+    ?(seed = 11) ~nodes () =
+  let c_sim = Sim.Engine.create ~seed () in
+  let c_topology = Topology.create ~nodes in
+  let c_net = Network.create ~engine:c_sim ~topology:c_topology ~config:net_config () in
+  let c_transfer =
+    Network.create ~engine:c_sim ~topology:c_topology ~config:net_config ()
+  in
+  { c_sim; c_topology; c_net; c_transfer; c_params = params }
+
+let cluster_sim c = c.c_sim
+let cluster_topology c = c.c_topology
+
+type role =
+  | Static  (** member of the initial server set *)
+  | Joiner of { sponsors : Node_id.t list; retry : Sim.Time.t }
+
+type t = {
+  cluster : cluster;
+  node_id : Node_id.t;
+  servers : Node_id.Set.t; (* initial set (static) or empty (joiner) *)
+  role : role;
+  disk_config : Disk.config;
+  mutable disk : Disk.t;
+  mutable persist : Persist.t;
+  mutable engine : Engine.t option; (* joiners have none until transferred *)
+  mutable endpoint : Types.payload Endpoint.t option;
+  mutable db : Database.t;
+  mutable dirty_cache : (int * int * Database.t) option;
+      (* (db version, red count) -> cached dirty copy *)
+  cpu : Sim.Resource.t option;
+  pending : (Action.Id.t, Action.response -> unit) Hashtbl.t;
+  transfer_sessions : (Node_id.t, unit) Hashtbl.t;
+  mutable up : bool;
+  mutable started : bool;
+  mutable joiner_waiting : bool;
+  mutable transfer_chunks_sent : int;
+  mutable incoming : (transfer_version * int) option;
+      (* joiner: version being received + contiguous chunks received *)
+  weights : Quorum.weights;
+  quorum_policy : Quorum.policy;
+  checkpoint_every : int option;
+  mutable greens_since_checkpoint : int;
+  mutable query_waiters : (unit -> unit) list; (* awaiting own-action drain *)
+  mutable greens_applied : int;
+  mutable actions_submitted : int;
+  mutable left : bool;
+}
+
+let node t = t.node_id
+let database t = t.db
+
+let engine t =
+  match t.engine with
+  | Some e -> e
+  | None -> invalid_arg "Replica.engine: joiner not yet transferred"
+
+let state t =
+  match t.engine with Some e -> Engine.state e | None -> Types.Non_prim
+
+let in_primary t = match t.engine with Some e -> Engine.in_primary e | None -> false
+let is_ready t = t.engine <> None && t.up && not t.left
+let is_up t = t.up
+let greens_applied t = t.greens_applied
+let log_entries t = Persist.entries_logged t.persist
+let transfer_chunks_sent t = t.transfer_chunks_sent
+let actions_submitted t = t.actions_submitted
+
+(* ------------------------------------------------------------------ *)
+(* Engine callbacks                                                    *)
+
+let checkpoint_now t =
+  match t.engine with
+  | None -> ()
+  | Some e ->
+    t.greens_since_checkpoint <- 0;
+    Engine.checkpoint e (Database.snapshot t.db)
+
+let flush_query_waiters t =
+  if Hashtbl.length t.pending = 0 && t.query_waiters <> [] then begin
+    let waiters = List.rev t.query_waiters in
+    t.query_waiters <- [];
+    List.iter (fun k -> k ()) waiters
+  end
+
+let apply_green t (a : Action.t) =
+  t.greens_applied <- t.greens_applied + 1;
+  t.dirty_cache <- None;
+  let response = Executor.execute t.db a in
+  (if Node_id.equal a.Action.id.server t.node_id then
+     match Hashtbl.find_opt t.pending a.Action.id with
+     | Some k ->
+       Hashtbl.remove t.pending a.Action.id;
+       k response
+     | None -> ());
+  flush_query_waiters t;
+  match t.checkpoint_every with
+  | Some n ->
+    t.greens_since_checkpoint <- t.greens_since_checkpoint + 1;
+    if t.greens_since_checkpoint >= n then checkpoint_now t
+  | None -> ()
+
+let apply_red t (a : Action.t) =
+  t.dirty_cache <- None;
+  (* Commutative-semantics actions answer at first local application:
+     their effect is order-insensitive, so the final state converges
+     (paper §6). *)
+  if
+    a.Action.semantics = Action.Commutative
+    && Node_id.equal a.Action.id.server t.node_id
+  then
+    match Hashtbl.find_opt t.pending a.Action.id with
+    | Some k ->
+      Hashtbl.remove t.pending a.Action.id;
+      (* The response is computed against the dirty state. *)
+      k (Executor.execute (Database.copy t.db) a)
+    | None -> ()
+
+let transfer_chunk_bytes = 65_536
+
+(* Stream the snapshot in fixed-size chunks starting at [from_chunk]; the
+   final chunk carries the metadata + snapshot value (the earlier chunks
+   model the bulk bytes on the wire). *)
+let do_transfer ?(from_chunk = 0) t ~joiner =
+  match t.engine with
+  | None -> ()
+  | Some e ->
+    let snapshot = Database.snapshot t.db in
+    let size = Database.snapshot_size snapshot in
+    let total = max 1 ((size + transfer_chunk_bytes - 1) / transfer_chunk_bytes) in
+    let version =
+      { tv_green_count = Engine.green_count e; tv_digest = Database.digest t.db }
+    in
+    let payload =
+      {
+        td_green_line = Engine.green_line e;
+        td_red_cut = Engine.green_cut_map e;
+        td_prim = Engine.prim_component e;
+        td_servers = Engine.known_servers e;
+        td_snapshot = snapshot;
+      }
+    in
+    (* Paced at roughly line rate: streaming, not a burst — a crash or
+       partition interrupts the transfer partway, which the joiner then
+       resumes elsewhere. *)
+    let rec send_chunk index =
+      if t.up && (not t.left) && index < total then begin
+        t.transfer_chunks_sent <- t.transfer_chunks_sent + 1;
+        let last = index = total - 1 in
+        let chunk_size =
+          if last then size - (index * transfer_chunk_bytes)
+          else transfer_chunk_bytes
+        in
+        Network.unicast t.cluster.c_transfer ~src:t.node_id ~dst:joiner
+          ~size:(max 64 chunk_size)
+          (Tchunk
+             {
+               tc_version = version;
+               tc_index = index;
+               tc_total = total;
+               tc_payload = (if last then Some payload else None);
+             });
+        if not last then
+          ignore
+            (Sim.Engine.schedule t.cluster.c_sim ~delay:(Sim.Time.of_ms 5.)
+               (fun () -> send_chunk (index + 1)))
+      end
+    in
+    send_chunk (max 0 from_chunk)
+
+let on_transfer_request t ~joiner ~join_green_count:_ =
+  if Hashtbl.mem t.transfer_sessions joiner then begin
+    Hashtbl.remove t.transfer_sessions joiner;
+    do_transfer t ~joiner
+  end
+
+let make_callbacks t =
+  {
+    Engine.on_green = (fun a -> apply_green t a);
+    on_red = (fun a -> apply_red t a);
+    on_transfer_request =
+      (fun ~joiner ~join_green_count ->
+        on_transfer_request t ~joiner ~join_green_count);
+    on_self_leave =
+      (fun () ->
+        t.left <- true;
+        match t.endpoint with Some ep -> Endpoint.crash ep | None -> ());
+    on_state_change = (fun _ -> ());
+    send =
+      (fun ~service ~size payload ->
+        match t.endpoint with
+        | Some ep -> Endpoint.send ep ~service ~size payload
+        | None -> ());
+  }
+
+let make_endpoint t =
+  let on_event event =
+    match t.engine with Some e -> Engine.handle_event e event | None -> ()
+  in
+  let ep =
+    Endpoint.create ~network:t.cluster.c_net ~params:t.cluster.c_params
+      ~node:t.node_id ~on_event ()
+  in
+  t.endpoint <- Some ep;
+  ep
+
+(* ------------------------------------------------------------------ *)
+(* Transfer channel                                                    *)
+
+let on_transfer_msg t ~src msg =
+  if t.up && not t.left then
+    match msg with
+    | Treq { tr_joiner; tr_resume } -> (
+      match t.engine with
+      | None -> ()
+      | Some e ->
+        if Node_id.Set.mem tr_joiner (Engine.known_servers e) then begin
+          (* The join is already ordered here: resume the transfer
+             directly (paper CodeSegment 5.1, line 21) — and skip chunks
+             the joiner already holds when our snapshot version matches
+             (determinism makes snapshots at equal green positions
+             identical across sponsors). *)
+          let from_chunk =
+            match tr_resume with
+            | Some (v, have)
+              when v.tv_green_count = Engine.green_count e
+                   && v.tv_digest = Database.digest t.db ->
+              have
+            | _ -> 0
+          in
+          do_transfer ~from_chunk t ~joiner:tr_joiner
+        end
+        else begin
+          (* Announce the newcomer (lines 17-19); transfer when green. *)
+          Hashtbl.replace t.transfer_sessions tr_joiner ();
+          match Engine.state e with
+          | Types.Reg_prim | Types.Non_prim ->
+            Engine.submit e ~kind:(Action.Join tr_joiner)
+              ~on_created:(fun _ -> ())
+              ()
+          | _ ->
+            (* Buffered submission also works: the engine queues it. *)
+            Engine.submit e ~kind:(Action.Join tr_joiner)
+              ~on_created:(fun _ -> ())
+              ()
+        end)
+    | Tchunk { tc_version; tc_index; tc_total; tc_payload } ->
+      if t.engine = None && t.joiner_waiting then begin
+        ignore src;
+        (* Contiguous reassembly; a version change restarts the count. *)
+        let have =
+          match t.incoming with
+          | Some (v, have) when v = tc_version -> have
+          | _ -> 0
+        in
+        if tc_index = have then begin
+          t.incoming <- Some (tc_version, have + 1);
+          match tc_payload with
+          | Some p when have + 1 = tc_total ->
+            t.joiner_waiting <- false;
+            t.incoming <- None;
+            t.db <- Database.of_snapshot p.td_snapshot;
+            let e =
+              Engine.create_from_snapshot ~weights:t.weights
+                ~sim:t.cluster.c_sim ~node:t.node_id ~servers:p.td_servers
+                ~snapshot:p.td_snapshot
+                ~green_count:tc_version.tv_green_count
+                ~green_line:p.td_green_line ~red_cut:p.td_red_cut
+                ~prim:p.td_prim ~persist:t.persist
+                ~callbacks:(make_callbacks t) ()
+            in
+            t.engine <- Some e;
+            let ep =
+              match t.endpoint with Some ep -> ep | None -> make_endpoint t
+            in
+            Endpoint.join ep
+          | _ -> ()
+        end
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let base ?(disk_config = Disk.default_forced) ?(attach_cpu = true)
+    ?(checkpoint_every = Some 2000) ?(weights = Quorum.no_weights)
+    ?(quorum_policy = Quorum.Dynamic_linear) ~cluster ~node ~servers ~role () =
+  let disk = Disk.create ~engine:cluster.c_sim ~config:disk_config () in
+  let persist = Persist.create ~engine:cluster.c_sim ~disk () in
+  let cpu =
+    if attach_cpu then begin
+      let cpu = Sim.Resource.create cluster.c_sim in
+      Network.attach_cpu cluster.c_net node cpu;
+      Network.attach_cpu cluster.c_transfer node cpu;
+      Some cpu
+    end
+    else None
+  in
+  let t =
+    {
+      cluster;
+      node_id = node;
+      servers;
+      role;
+      disk_config;
+      disk;
+      persist;
+      engine = None;
+      endpoint = None;
+      db = Database.create ();
+      dirty_cache = None;
+      cpu;
+      pending = Hashtbl.create 32;
+      transfer_sessions = Hashtbl.create 4;
+      weights;
+      quorum_policy;
+      checkpoint_every;
+      greens_since_checkpoint = 0;
+      query_waiters = [];
+      up = true;
+      started = false;
+      joiner_waiting = false;
+      transfer_chunks_sent = 0;
+      incoming = None;
+      greens_applied = 0;
+      actions_submitted = 0;
+      left = false;
+    }
+  in
+  Network.register cluster.c_transfer node ~handler:(fun ~src msg ->
+      on_transfer_msg t ~src msg);
+  t
+
+let create ?disk_config ?attach_cpu ?checkpoint_every ?weights ?quorum_policy
+    ~cluster ~node ~servers () =
+  let servers = Node_id.set_of_list servers in
+  let t =
+    base ?disk_config ?attach_cpu ?checkpoint_every ?weights ?quorum_policy
+      ~cluster ~node ~servers ~role:Static ()
+  in
+  let e =
+    Engine.create ~weights:t.weights ~quorum_policy:t.quorum_policy
+      ~sim:cluster.c_sim ~node ~servers ~persist:t.persist
+      ~callbacks:(make_callbacks t) ()
+  in
+  t.engine <- Some e;
+  ignore (make_endpoint t);
+  t
+
+let create_joiner ?disk_config ?attach_cpu ?checkpoint_every
+    ?(retry_interval = Sim.Time.of_ms 500.) ~cluster ~node ~sponsors () =
+  base ?disk_config ?attach_cpu ?checkpoint_every ~cluster ~node
+    ~servers:Node_id.Set.empty
+    ~role:(Joiner { sponsors; retry = retry_interval })
+    ()
+
+let rec joiner_request_loop t sponsors_left all_sponsors retry =
+  if t.up && t.joiner_waiting && t.engine = None then begin
+    let sponsor, rest =
+      match sponsors_left with
+      | s :: rest -> (s, rest)
+      | [] -> (
+        match all_sponsors with
+        | s :: rest -> (s, rest)
+        | [] -> invalid_arg "Replica.create_joiner: no sponsors")
+    in
+    Network.unicast t.cluster.c_transfer ~src:t.node_id ~dst:sponsor ~size:64
+      (Treq { tr_joiner = t.node_id; tr_resume = t.incoming });
+    ignore
+      (Sim.Engine.schedule t.cluster.c_sim ~delay:retry (fun () ->
+           joiner_request_loop t rest all_sponsors retry))
+  end
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    match t.role with
+    | Static -> (
+      match t.endpoint with Some ep -> Endpoint.join ep | None -> ())
+    | Joiner { sponsors; retry } ->
+      t.joiner_waiting <- true;
+      joiner_request_loop t sponsors sponsors retry
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Client interface                                                    *)
+
+let submit t ?(client = 1) ?(semantics = Action.Strict) ?(size = 200) kind
+    ~on_response =
+  match t.engine with
+  | None -> ()
+  | Some e ->
+    t.actions_submitted <- t.actions_submitted + 1;
+    Engine.submit e ~client ~semantics ~size ~kind
+      ~on_created:(fun id -> Hashtbl.replace t.pending id on_response)
+      ()
+
+let weak_query t keys = Database.read t.db keys
+
+(* §6 query optimisation: a read-only transaction needs no global
+   ordering — it is answered from the green state as soon as every
+   earlier action *of this server* has been applied (session
+   consistency), skipping the multicast and the forced write. *)
+let local_query t keys ~on_response =
+  let answer () = on_response (Database.read t.db keys) in
+  if Hashtbl.length t.pending = 0 then answer ()
+  else t.query_waiters <- answer :: t.query_waiters
+
+let dirty_db t =
+  match t.engine with
+  | None -> t.db
+  | Some e -> (
+    let reds = Engine.red_actions e in
+    let key = (Database.version t.db, List.length reds) in
+    match t.dirty_cache with
+    | Some (v, r, cached) when (v, r) = key -> cached
+    | _ ->
+      let copy = Database.copy t.db in
+      List.iter (fun a -> ignore (Executor.execute copy a)) reds;
+      t.dirty_cache <- Some (fst key, snd key, copy);
+      copy)
+
+let dirty_query t keys = Database.read (dirty_db t) keys
+
+let leave t =
+  match t.engine with
+  | None -> ()
+  | Some e -> Engine.submit e ~kind:(Action.Leave t.node_id) ~on_created:(fun _ -> ()) ()
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection                                                   *)
+
+let crash t =
+  if t.up then begin
+    Log.info (fun m -> m "n%d: crash" t.node_id);
+    t.up <- false;
+    (match t.endpoint with Some ep -> Endpoint.crash ep | None -> ());
+    Network.set_up t.cluster.c_transfer t.node_id false;
+    Persist.crash t.persist;
+    (match t.cpu with Some cpu -> Sim.Resource.reset cpu | None -> ());
+    Hashtbl.reset t.pending;
+    t.query_waiters <- [];
+    Hashtbl.reset t.transfer_sessions;
+    t.db <- Database.create ();
+    t.dirty_cache <- None;
+    t.engine <- None
+  end
+
+let recover t =
+  if (not t.up) && not t.left then begin
+    Log.info (fun m -> m "n%d: recovering from stable storage" t.node_id);
+    t.up <- true;
+    Network.set_up t.cluster.c_transfer t.node_id true;
+    let e, snapshot, greens =
+      Engine.recover ~weights:t.weights ~sim:t.cluster.c_sim ~node:t.node_id
+        ~servers:t.servers ~persist:t.persist ~callbacks:(make_callbacks t) ()
+    in
+    (* Rebuild the database: restore the latest durable checkpoint, then
+       replay the green actions logged after it. *)
+    t.db <-
+      (match snapshot with
+      | Some s -> Database.of_snapshot s
+      | None -> Database.create ());
+    List.iter (fun a -> ignore (Executor.execute t.db a)) greens;
+    t.greens_applied <- t.greens_applied + List.length greens;
+    t.engine <- Some e;
+    match t.endpoint with
+    | Some ep -> Endpoint.recover ep
+    | None -> ()
+  end

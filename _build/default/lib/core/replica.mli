@@ -1,0 +1,133 @@
+open Repro_net
+open Repro_gcs
+open Repro_storage
+open Repro_db
+
+(** A full replication server: database + replication engine + group
+    communication endpoint + stable storage + state-transfer channel,
+    assembled per the paper's node architecture (§2.1).
+
+    Replicas of one cluster share a payload network (group communication)
+    and a transfer network (the point-to-point channel a joining site
+    uses to pull a database snapshot from its representative, §5.1). *)
+
+type cluster
+(** The shared substrate: simulation engine, topology, both networks. *)
+
+val make_cluster :
+  ?net_config:Network.config ->
+  ?params:Params.t ->
+  ?seed:int ->
+  nodes:Node_id.t list ->
+  unit ->
+  cluster
+
+val cluster_sim : cluster -> Repro_sim.Engine.t
+val cluster_topology : cluster -> Topology.t
+
+type t
+
+val create :
+  ?disk_config:Disk.config ->
+  ?attach_cpu:bool ->
+  ?checkpoint_every:int option ->
+  ?weights:Quorum.weights ->
+  ?quorum_policy:Quorum.policy ->
+  cluster:cluster ->
+  node:Node_id.t ->
+  servers:Node_id.t list ->
+  unit ->
+  t
+(** A replica of the initial (static) server set.  [attach_cpu] (default
+    true) routes its message processing through a serial CPU resource.
+    [checkpoint_every] (default [Some 2000]) takes a durable checkpoint —
+    database snapshot + green knowledge, followed by log compaction and
+    white-action garbage collection — every that many applied actions;
+    [None] disables checkpointing. *)
+
+val create_joiner :
+  ?disk_config:Disk.config ->
+  ?attach_cpu:bool ->
+  ?checkpoint_every:int option ->
+  ?retry_interval:Repro_sim.Time.t ->
+  cluster:cluster ->
+  node:Node_id.t ->
+  sponsors:Node_id.t list ->
+  unit ->
+  t
+(** A dynamically instantiated replica (paper §5.1/5.2): it connects to
+    the sponsor list in order, obtains a PERSISTENT_JOIN and a database
+    snapshot, and only then joins the replicated group.  Remember to add
+    the node to the topology first. *)
+
+val start : t -> unit
+(** Joins the group (or begins the join-by-transfer procedure). *)
+
+val node : t -> Node_id.t
+
+val engine : t -> Engine.t
+(** Direct access to the replication engine (read-mostly). *)
+
+val database : t -> Database.t
+val state : t -> Types.engine_state
+val in_primary : t -> bool
+val is_ready : t -> bool
+(** A joiner is ready once its snapshot arrived and it entered the group. *)
+
+(* --- Client interface ---------------------------------------------- *)
+
+val submit :
+  t ->
+  ?client:int ->
+  ?semantics:Action.semantics ->
+  ?size:int ->
+  Action.kind ->
+  on_response:(Action.response -> unit) ->
+  unit
+(** Submits a transaction.  Strict semantics answer when the action turns
+    green at this replica; [Commutative] answers at first local (red)
+    application — paper §6. *)
+
+val weak_query : t -> string list -> (string * Value.t option) list
+(** Immediate answer from the consistent-but-possibly-stale green state. *)
+
+val local_query :
+  t ->
+  string list ->
+  on_response:((string * Value.t option) list -> unit) ->
+  unit
+(** The paper's §6 read-only optimisation: answered from the green state
+    once every earlier action submitted through this replica has been
+    applied (session consistency) — no ordering round, no forced write. *)
+
+val dirty_query : t -> string list -> (string * Value.t option) list
+(** Immediate answer from green state plus locally known red actions. *)
+
+val leave : t -> unit
+(** Permanently leaves the replicated system (PERSISTENT_LEAVE). *)
+
+val checkpoint_now : t -> unit
+(** Takes a durable checkpoint immediately (snapshot + compaction + GC). *)
+
+val log_entries : t -> int
+(** Entries currently in the write-ahead log (observes compaction). *)
+
+(* --- Failure injection --------------------------------------------- *)
+
+val crash : t -> unit
+(** Loses all volatile state (database included); stable storage
+    retains the durable log prefix. *)
+
+val recover : t -> unit
+(** Restarts from stable storage (paper CodeSegment A.13) and rejoins. *)
+
+val is_up : t -> bool
+
+(* --- Statistics ----------------------------------------------------- *)
+
+val greens_applied : t -> int
+val actions_submitted : t -> int
+
+val transfer_chunks_sent : t -> int
+(** State-transfer chunks this replica served as a representative
+    (observes resume: a resumed transfer re-sends only the tail). *)

@@ -1,0 +1,54 @@
+open Repro_db
+
+type op =
+  | Exec of Action.semantics * int * Action.kind * (Action.response -> unit)
+  | Read of string list * ((string * Value.t option) list -> unit)
+
+type t = {
+  replica : Replica.t;
+  client : int;
+  queue : op Queue.t;
+  mutable in_flight : bool;
+  mutable completed : int;
+  mutable aborted : int;
+}
+
+let attach replica ~client =
+  { replica; client; queue = Queue.create (); in_flight = false; completed = 0; aborted = 0 }
+
+let replica t = t.replica
+let client t = t.client
+let outstanding t = Queue.length t.queue + if t.in_flight then 1 else 0
+let completed t = t.completed
+let aborted t = t.aborted
+
+let rec pump t =
+  if not t.in_flight then
+    match Queue.take_opt t.queue with
+    | None -> ()
+    | Some (Exec (semantics, size, kind, k)) ->
+      t.in_flight <- true;
+      Replica.submit t.replica ~client:t.client ~semantics ~size kind
+        ~on_response:(fun response ->
+          t.in_flight <- false;
+          t.completed <- t.completed + 1;
+          (match response with
+          | Action.Aborted -> t.aborted <- t.aborted + 1
+          | Action.Committed _ | Action.Procedure_output _ -> ());
+          k response;
+          pump t)
+    | Some (Read (keys, k)) ->
+      t.in_flight <- true;
+      Replica.local_query t.replica keys ~on_response:(fun result ->
+          t.in_flight <- false;
+          t.completed <- t.completed + 1;
+          k result;
+          pump t)
+
+let exec t ?(semantics = Action.Strict) ?(size = 200) kind ~k =
+  Queue.add (Exec (semantics, size, kind, k)) t.queue;
+  pump t
+
+let read t keys ~k =
+  Queue.add (Read (keys, k)) t.queue;
+  pump t

@@ -1,0 +1,34 @@
+open Repro_db
+
+(** A client session against one replica.
+
+    Wraps {!Replica.submit} with the conveniences a database client
+    expects: sequential execution (at most one outstanding transaction;
+    further submissions queue locally), read-your-writes reads via the
+    §6 local-query optimisation, and per-session statistics.  Sessions
+    are how the examples and workload generators talk to the system. *)
+
+type t
+
+val attach : Replica.t -> client:int -> t
+(** Binds a session to a replica under a client id. *)
+
+val replica : t -> Replica.t
+val client : t -> int
+
+val exec :
+  t -> ?semantics:Action.semantics -> ?size:int -> Action.kind ->
+  k:(Action.response -> unit) -> unit
+(** Queues a transaction; it is submitted when all earlier transactions
+    of this session have completed, preserving the session's program
+    order end-to-end. *)
+
+val read : t -> string list -> k:((string * Value.t option) list -> unit) -> unit
+(** Read-your-writes read: served through {!Replica.local_query} after
+    the session's queued writes have drained — never globally ordered. *)
+
+val outstanding : t -> int
+(** Transactions queued or in flight. *)
+
+val completed : t -> int
+val aborted : t -> int

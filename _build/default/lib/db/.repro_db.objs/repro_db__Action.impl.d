@@ -1,0 +1,1 @@
+lib/db/action.ml: Format Int List Node_id Op Repro_net String Value

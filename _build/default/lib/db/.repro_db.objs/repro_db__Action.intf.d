@@ -1,0 +1,1 @@
+lib/db/action.mli: Format Node_id Op Repro_net Value

@@ -1,0 +1,1 @@
+lib/db/database.ml: Format Hashtbl List Map Op String Value

@@ -1,0 +1,1 @@
+lib/db/database.mli: Format Op Value

@@ -1,0 +1,1 @@
+lib/db/executor.ml: Action Database List Procedure Value

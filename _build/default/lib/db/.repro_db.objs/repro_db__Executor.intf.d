@@ -1,0 +1,1 @@
+lib/db/executor.mli: Action Database

@@ -1,0 +1,1 @@
+lib/db/op.ml: Format Value

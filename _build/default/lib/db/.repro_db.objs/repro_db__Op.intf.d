@@ -1,0 +1,1 @@
+lib/db/op.mli: Format Value

@@ -1,0 +1,1 @@
+lib/db/procedure.ml: Database Hashtbl Op Value

@@ -1,0 +1,1 @@
+lib/db/procedure.mli: Database Op Value

@@ -1,0 +1,1 @@
+lib/db/value.ml: Format Int String

@@ -1,0 +1,62 @@
+open Repro_net
+
+module Id = struct
+  type t = { server : Node_id.t; index : int }
+
+  let compare a b =
+    let c = Node_id.compare a.server b.server in
+    if c <> 0 then c else Int.compare a.index b.index
+
+  let equal a b = compare a b = 0
+  let pp ppf t = Format.fprintf ppf "%a#%d" Node_id.pp t.server t.index
+end
+
+type kind =
+  | Query of string list
+  | Update of Op.t list
+  | Read_write of string list * Op.t list
+  | Active of { proc : string; args : Value.t list }
+  | Interactive of {
+      expected : (string * Value.t option) list;
+      updates : Op.t list;
+    }
+  | Join of Node_id.t
+  | Leave of Node_id.t
+
+type semantics = Strict | Commutative
+
+type t = {
+  id : Id.t;
+  client : int;
+  kind : kind;
+  semantics : semantics;
+  green_line : Id.t option;
+  size : int;
+}
+
+let make ?(client = 0) ?(semantics = Strict) ?(green_line = None) ?(size = 200)
+    ~server ~index kind =
+  { id = { Id.server; index }; client; kind; semantics; green_line; size }
+
+type response =
+  | Committed of (string * Value.t option) list
+  | Procedure_output of Value.t
+  | Aborted
+
+let pp_kind ppf = function
+  | Query keys -> Format.fprintf ppf "query[%s]" (String.concat "," keys)
+  | Update ops -> Format.fprintf ppf "update[%d ops]" (List.length ops)
+  | Read_write (keys, ops) ->
+    Format.fprintf ppf "rw[%d keys,%d ops]" (List.length keys) (List.length ops)
+  | Active { proc; _ } -> Format.fprintf ppf "active[%s]" proc
+  | Interactive _ -> Format.fprintf ppf "interactive"
+  | Join n -> Format.fprintf ppf "join[%a]" Node_id.pp n
+  | Leave n -> Format.fprintf ppf "leave[%a]" Node_id.pp n
+
+let pp ppf t = Format.fprintf ppf "%a:%a" Id.pp t.id pp_kind t.kind
+
+let pp_response ppf = function
+  | Committed results ->
+    Format.fprintf ppf "committed[%d]" (List.length results)
+  | Procedure_output v -> Format.fprintf ppf "output[%a]" Value.pp v
+  | Aborted -> Format.fprintf ppf "aborted"

@@ -1,0 +1,73 @@
+open Repro_net
+
+(** Actions: the unit of replication (paper §2.2).
+
+    An action is a deterministic state transition with a query part and
+    an update part, either possibly missing.  Client transactions are
+    translated into actions; the replication engine builds one global
+    persistent total order of actions and applies them in it. *)
+
+module Id : sig
+  type t = { server : Node_id.t; index : int }
+  (** Stamped by the creating server: its id and a per-server
+      monotonically increasing index (FIFO per creator). *)
+
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** What happens when the action reaches its place in the global order. *)
+type kind =
+  | Query of string list  (** read-only; returns the values *)
+  | Update of Op.t list  (** write-only *)
+  | Read_write of string list * Op.t list  (** both parts *)
+  | Active of { proc : string; args : Value.t list }
+      (** invoke a deterministic stored procedure at ordering time *)
+  | Interactive of {
+      expected : (string * Value.t option) list;
+          (** values the client read in its first action *)
+      updates : Op.t list;
+    }
+      (** the second half of an interactive transaction: applied only if
+          the previously read values still hold, otherwise "aborted" *)
+  | Join of Node_id.t  (** PERSISTENT_JOIN of a new replica (§5.1) *)
+  | Leave of Node_id.t  (** PERSISTENT_LEAVE of a replica (§5.1) *)
+
+(** How eagerly the client is answered (paper §6). *)
+type semantics =
+  | Strict  (** answered when the action turns green (1-copy serializable) *)
+  | Commutative
+      (** updates commute: answered on local (red) application; states
+          converge on merge *)
+
+type t = {
+  id : Id.t;
+  client : int;  (** issuing client (0 for system actions) *)
+  kind : kind;
+  semantics : semantics;
+  green_line : Id.t option;
+      (** last action the creator knew green at creation time *)
+  size : int;  (** wire size in bytes (the paper uses 200-byte actions) *)
+}
+
+val make :
+  ?client:int ->
+  ?semantics:semantics ->
+  ?green_line:Id.t option ->
+  ?size:int ->
+  server:Node_id.t ->
+  index:int ->
+  kind ->
+  t
+(** [size] defaults to 200 bytes. *)
+
+(** The outcome reported to the client. *)
+type response =
+  | Committed of (string * Value.t option) list
+      (** query results (empty for pure updates) *)
+  | Procedure_output of Value.t
+  | Aborted  (** interactive validation failed *)
+
+val pp : Format.formatter -> t -> unit
+val pp_response : Format.formatter -> response -> unit

@@ -1,0 +1,73 @@
+module Smap = Map.Make (String)
+
+type cell = { value : Value.t; ts : int }
+type snapshot = { s_map : cell Smap.t; s_version : int }
+type t = { mutable map : cell Smap.t; mutable version : int }
+
+let create () = { map = Smap.empty; version = 0 }
+
+let get t k =
+  match Smap.find_opt k t.map with Some c -> Some c.value | None -> None
+
+let timestamp t k =
+  match Smap.find_opt k t.map with Some c -> c.ts | None -> 0
+
+let apply_op map = function
+  | Op.Set (k, v) ->
+    let ts = match Smap.find_opt k map with Some c -> c.ts | None -> 0 in
+    Smap.add k { value = v; ts } map
+  | Op.Add (k, n) ->
+    let current, ts =
+      match Smap.find_opt k map with
+      | Some { value = Value.Int v; ts } -> (v, ts)
+      | Some { value = Value.Text _; ts } -> (0, ts)
+      | None -> (0, 0)
+    in
+    Smap.add k { value = Value.Int (current + n); ts } map
+  | Op.Remove k -> Smap.remove k map
+  | Op.Set_if_newer (k, v, ts) -> (
+    match Smap.find_opt k map with
+    | Some c when c.ts >= ts -> map
+    | _ -> Smap.add k { value = v; ts } map)
+
+let apply t ops =
+  t.map <- List.fold_left apply_op t.map ops;
+  t.version <- t.version + 1
+
+let read t keys = List.map (fun k -> (k, get t k)) keys
+let size t = Smap.cardinal t.map
+let version t = t.version
+
+let digest t =
+  (* Commutative combination over an order-insensitive per-binding hash:
+     equal maps give equal digests regardless of internal structure. *)
+  Smap.fold
+    (fun k c acc -> acc + Hashtbl.hash (k, c.value, c.ts))
+    t.map 0
+
+let snapshot t = { s_map = t.map; s_version = t.version }
+
+let restore t s =
+  t.map <- s.s_map;
+  t.version <- s.s_version
+
+let of_snapshot s = { map = s.s_map; version = s.s_version }
+let copy t = { map = t.map; version = t.version }
+
+let snapshot_size s =
+  Smap.fold
+    (fun k c acc ->
+      let vsize =
+        match c.value with Value.Int _ -> 8 | Value.Text txt -> String.length txt
+      in
+      acc + String.length k + vsize + 16)
+    s.s_map 64
+
+let bindings t = Smap.bindings t.map |> List.map (fun (k, c) -> (k, c.value))
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Smap.iter
+    (fun k c -> Format.fprintf ppf "%s = %a@," k Value.pp c.value)
+    t.map;
+  Format.fprintf ppf "@]"

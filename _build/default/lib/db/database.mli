@@ -1,0 +1,39 @@
+(** The deterministic in-memory database each replica maintains.
+
+    A string-keyed value store backed by a persistent map, so snapshots
+    are O(1) and support cheap dirty copies and state transfer.
+    Timestamps for [Set_if_newer] are stored alongside values. *)
+
+type t
+
+type snapshot
+(** An immutable copy of the full database state. *)
+
+val create : unit -> t
+val get : t -> string -> Value.t option
+val timestamp : t -> string -> int
+(** Stored timestamp for a key (0 if never written with a timestamp). *)
+
+val apply : t -> Op.t list -> unit
+(** Applies updates in order. *)
+
+val read : t -> string list -> (string * Value.t option) list
+val size : t -> int
+val version : t -> int
+(** Number of [apply] calls so far. *)
+
+val digest : t -> int
+(** Order-insensitive content hash; equal digests on equal states.  Used
+    by consistency checkers to compare replicas cheaply. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+val of_snapshot : snapshot -> t
+val copy : t -> t
+val snapshot_size : snapshot -> int
+(** Approximate serialized size in bytes, for transfer-time modelling. *)
+
+val bindings : t -> (string * Value.t) list
+(** All key/value pairs in key order. *)
+
+val pp : Format.formatter -> t -> unit

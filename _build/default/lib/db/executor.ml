@@ -1,0 +1,40 @@
+let execute db (action : Action.t) : Action.response =
+  match action.kind with
+  | Action.Query keys -> Action.Committed (Database.read db keys)
+  | Action.Update ops ->
+    Database.apply db ops;
+    Action.Committed []
+  | Action.Read_write (keys, ops) ->
+    let results = Database.read db keys in
+    Database.apply db ops;
+    Action.Committed results
+  | Action.Active { proc; args } -> (
+    Procedure.builtins_registered ();
+    match Procedure.find proc with
+    | Some body ->
+      let { Procedure.updates; output } = body db args in
+      Database.apply db updates;
+      Action.Procedure_output output
+    | None -> Action.Aborted)
+  | Action.Interactive { expected; updates } ->
+    let still_valid =
+      List.for_all
+        (fun (k, expected_v) ->
+          match (Database.get db k, expected_v) with
+          | None, None -> true
+          | Some v, Some e -> Value.equal v e
+          | _ -> false)
+        expected
+    in
+    if still_valid then begin
+      Database.apply db updates;
+      Action.Committed []
+    end
+    else Action.Aborted
+  | Action.Join _ | Action.Leave _ -> Action.Committed []
+
+let read_only (action : Action.t) =
+  match action.kind with
+  | Action.Query _ -> true
+  | Action.Update _ | Action.Read_write _ | Action.Active _
+  | Action.Interactive _ | Action.Join _ | Action.Leave _ -> false

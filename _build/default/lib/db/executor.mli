@@ -1,0 +1,17 @@
+(** Applies an action to a database at its place in the global order.
+
+    Execution is deterministic: the outcome depends only on the database
+    state and the action, so replicas applying the same actions in the
+    same order produce the same states and the same responses (the state
+    machine approach; paper §1).  [Join]/[Leave] system actions do not
+    touch the data. *)
+
+val execute : Database.t -> Action.t -> Action.response
+(** Mutates the database per the action's update part and returns the
+    client-visible response.  Interactive actions validate their
+    [expected] reads first and return [Aborted] (applying nothing) on
+    mismatch — every replica aborts or none does. *)
+
+val read_only : Action.t -> bool
+(** Actions with no update part: these can be answered without being
+    ordered (paper §6, query optimisation). *)

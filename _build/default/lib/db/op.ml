@@ -1,0 +1,16 @@
+type t =
+  | Set of string * Value.t
+  | Add of string * int
+  | Remove of string
+  | Set_if_newer of string * Value.t * int
+
+let is_commutative = function
+  | Add _ | Set_if_newer _ -> true
+  | Set _ | Remove _ -> false
+
+let pp ppf = function
+  | Set (k, v) -> Format.fprintf ppf "set %s=%a" k Value.pp v
+  | Add (k, n) -> Format.fprintf ppf "add %s+=%d" k n
+  | Remove k -> Format.fprintf ppf "remove %s" k
+  | Set_if_newer (k, v, ts) ->
+    Format.fprintf ppf "set-if-newer %s=%a@@%d" k Value.pp v ts

@@ -1,0 +1,19 @@
+(** Update operations — the write half of an action.
+
+    [Add] is commutative and [Set_if_newer] is timestamp-guarded; these
+    two support the relaxed update semantics of the paper's Section 6
+    (inventory-style and location-tracking-style applications): applying
+    them in different interleavings converges to the same state. *)
+
+type t =
+  | Set of string * Value.t
+  | Add of string * int  (** numeric increment; missing key counts as 0 *)
+  | Remove of string
+  | Set_if_newer of string * Value.t * int
+      (** write wins only if its timestamp exceeds the stored one *)
+
+val is_commutative : t -> bool
+(** Whether re-ordering this op against any other commutative op leaves
+    the final state unchanged ([Add] and [Set_if_newer]). *)
+
+val pp : Format.formatter -> t -> unit

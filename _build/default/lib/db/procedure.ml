@@ -1,0 +1,50 @@
+type result = { updates : Op.t list; output : Value.t }
+type body = Database.t -> Value.t list -> result
+
+let registry : (string, body) Hashtbl.t = Hashtbl.create 16
+
+let register name body = Hashtbl.replace registry name body
+let find name = Hashtbl.find_opt registry name
+let known () = Hashtbl.fold (fun k _ acc -> k :: acc) registry []
+
+let int_of = function Value.Int n -> n | Value.Text _ -> 0
+
+let transfer db = function
+  | [ Value.Text from_acct; Value.Text to_acct; Value.Int amount ] ->
+    let balance =
+      match Database.get db from_acct with Some (Value.Int b) -> b | _ -> 0
+    in
+    if balance >= amount && amount >= 0 then
+      {
+        updates = [ Op.Add (from_acct, -amount); Op.Add (to_acct, amount) ];
+        output = Value.Int 1;
+      }
+    else { updates = []; output = Value.Int 0 }
+  | _ -> { updates = []; output = Value.Int 0 }
+
+let restock db = function
+  | [ Value.Text item; Value.Int n ] ->
+    let level =
+      match Database.get db item with Some (Value.Int l) -> l | _ -> 0
+    in
+    { updates = [ Op.Add (item, n) ]; output = Value.Int (level + n) }
+  | _ -> { updates = []; output = Value.Int 0 }
+
+let cas db = function
+  | [ Value.Text key; expected; desired ] ->
+    let matches =
+      match Database.get db key with
+      | Some v -> Value.equal v expected
+      | None -> int_of expected = 0 && Value.equal expected (Value.Int 0)
+    in
+    if matches then
+      { updates = [ Op.Set (key, desired) ]; output = Value.Int 1 }
+    else { updates = []; output = Value.Int 0 }
+  | _ -> { updates = []; output = Value.Int 0 }
+
+let builtins_registered () =
+  if not (Hashtbl.mem registry "transfer") then begin
+    register "transfer" transfer;
+    register "restock" restock;
+    register "cas" cas
+  end

@@ -1,0 +1,29 @@
+(** Deterministic stored procedures for active transactions (paper §6).
+
+    A procedure computes its updates from the current database state and
+    its arguments only, so every replica invoking it at the same point in
+    the global order produces the same transition.  Procedures are looked
+    up by name at execution (ordering) time, never at creation time. *)
+
+type result = {
+  updates : Op.t list;  (** applied atomically after the call *)
+  output : Value.t;  (** returned to the client *)
+}
+
+type body = Database.t -> Value.t list -> result
+
+val register : string -> body -> unit
+(** Registers (or replaces) a procedure under a global name. *)
+
+val find : string -> body option
+val known : unit -> string list
+
+val builtins_registered : unit -> unit
+(** Ensures the built-in procedures exist:
+    - ["transfer"] [\[Text from; Text to_; Int amount\]]: moves funds iff
+      the source balance suffices; returns [Int 1] on success, [Int 0] on
+      refusal.
+    - ["restock"] [\[Text item; Int n\]]: commutative stock increment;
+      returns the (locally visible) new level.
+    - ["cas"] [\[Text key; expected; desired\]]: compare-and-set; returns
+      [Int 1] iff the stored value equalled [expected]. *)

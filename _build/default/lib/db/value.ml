@@ -1,0 +1,16 @@
+type t = Int of int | Text of string
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Text x, Text y -> String.compare x y
+  | Int _, Text _ -> -1
+  | Text _, Int _ -> 1
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Text s -> Format.fprintf ppf "%S" s
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,8 @@
+(** Database values. *)
+
+type t = Int of int | Text of string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/gcs/conf_id.ml: Format Int Node_id Repro_net

@@ -1,0 +1,1 @@
+lib/gcs/conf_id.mli: Format Node_id Repro_net

@@ -1,0 +1,1 @@
+lib/gcs/endpoint.ml: Conf_id Engine Format Hashtbl Int List Logs Network Node_id Params Printf Repro_net Repro_sim Time

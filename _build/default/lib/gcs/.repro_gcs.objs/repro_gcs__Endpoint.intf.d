@@ -1,0 +1,1 @@
+lib/gcs/endpoint.mli: Conf_id Format Network Node_id Params Repro_net

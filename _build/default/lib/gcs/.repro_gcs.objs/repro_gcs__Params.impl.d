@@ -1,0 +1,1 @@
+lib/gcs/params.ml: Repro_sim Time

@@ -1,0 +1,1 @@
+lib/gcs/params.mli: Repro_sim Time

@@ -1,0 +1,11 @@
+open Repro_net
+
+type t = { coord : Node_id.t; counter : int }
+
+let compare a b =
+  let c = Int.compare a.counter b.counter in
+  if c <> 0 then c else Node_id.compare a.coord b.coord
+
+let equal a b = compare a b = 0
+let pp ppf t = Format.fprintf ppf "c%d.%d" t.coord t.counter
+let to_string t = Format.asprintf "%a" pp t

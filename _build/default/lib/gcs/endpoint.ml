@@ -1,0 +1,933 @@
+open Repro_sim
+open Repro_net
+
+type service = Agreed | Safe
+
+type view = { id : Conf_id.t; members : Node_id.Set.t }
+
+let pp_view ppf v =
+  Format.fprintf ppf "%a%a" Conf_id.pp v.id Node_id.pp_set v.members
+
+type 'p delivery = {
+  sender : Node_id.t;
+  payload : 'p;
+  conf : Conf_id.t;
+  seq : int;
+  in_regular : bool;
+}
+
+type 'p event = Deliver of 'p delivery | Trans_conf of view | Reg_conf of view
+
+type 'p data = {
+  d_conf : Conf_id.t;
+  d_sender : Node_id.t;
+  d_lseq : int;
+  d_service : service;
+  d_payload : 'p;
+  d_size : int;
+}
+
+type flush_record = {
+  fr_old_conf : Conf_id.t option;
+  fr_evicted : int; (* all seqs <= this were evicted (provably at everyone) *)
+  fr_inventory : int list; (* seqs held above fr_evicted, ascending *)
+  fr_delivered : int; (* app-delivered prefix *)
+}
+
+type 'p wire =
+  | Data of 'p data
+  | Order of { o_conf : Conf_id.t; o_entries : (int * Node_id.t * int) list }
+    (* (seq, sender, lseq), ascending *)
+  | Ack of { a_conf : Conf_id.t; a_upto : int }
+  | Heartbeat of { h_conf : Conf_id.t }
+  | Probe of { p_conf : Conf_id.t }
+  | MGather of { g_round : int; g_set : Node_id.Set.t }
+  | MPropose of { m_vid : Conf_id.t; m_members : Node_id.Set.t }
+  | MFlush of { f_vid : Conf_id.t; f_from : Node_id.t; f_record : flush_record }
+  | MRetrans of { r_vid : Conf_id.t; r_entries : (int * 'p data) list }
+  | MReady of { y_vid : Conf_id.t; y_from : Node_id.t }
+  | MInstall of { i_vid : Conf_id.t; i_members : Node_id.Set.t }
+  | Nack of { k_conf : Conf_id.t; k_from : int; k_to : int }
+    (* please retransmit ordered messages [k_from..k_to] *)
+  | Repair of { q_conf : Conf_id.t; q_entries : (int * 'p data) list }
+
+(* Data-plane state of one installed regular configuration. *)
+type 'p conf_state = {
+  cview : view;
+  coord : Node_id.t;
+  mutable next_lseq : int;
+  own_pending : (int, 'p data * Time.t) Hashtbl.t;
+    (* own messages not yet ordered: resent if the coordinator stays
+       silent about them (loss recovery) *)
+  data_buf : (Node_id.t * int, 'p data) Hashtbl.t; (* received, not yet ordered *)
+  pending_assignment : (Node_id.t * int, int) Hashtbl.t; (* order before payload *)
+  store : (int, 'p data) Hashtbl.t; (* seq -> ordered message *)
+  mutable evicted_below : int;
+  mutable have_upto : int; (* contiguous prefix present in [store] *)
+  mutable delivered_upto : int; (* contiguous prefix delivered to the app *)
+  mutable safe_upto : int; (* prefix acked by every member *)
+  acks : (Node_id.t, int) Hashtbl.t;
+  mutable max_safe_seq : int; (* highest stored safe-service sequence *)
+  (* sequencer-only: *)
+  mutable next_seq : int;
+  mutable pending_order : (Node_id.t * int) list; (* reversed *)
+  mutable order_armed : bool;
+  mutable ack_armed : bool;
+}
+
+type gather_state = {
+  mutable g_members : Node_id.Set.t;
+  mutable g_token : int; (* bumped on growth; guards stability timers *)
+  mutable g_waiting_proposal : bool;
+}
+
+type flush_state = {
+  fl_vid : Conf_id.t;
+  fl_members : Node_id.Set.t;
+  fl_coord : Node_id.t;
+  fl_records : (Node_id.t, flush_record) Hashtbl.t;
+  mutable fl_retrans_sent : bool;
+  mutable fl_ready_sent : bool;
+  mutable fl_group : Node_id.Set.t; (* members sharing my old conf *)
+  mutable fl_union_max : int; (* deliverable prefix of my old conf *)
+  fl_ready : (Node_id.t, unit) Hashtbl.t; (* coordinator: MReady received *)
+}
+
+type status =
+  | Down
+  | Idle (* created or recovered, not yet joined *)
+  | Gathering of gather_state
+  | Flushing of flush_state
+  | Installed
+
+type 'p t = {
+  net : 'p wire Network.t;
+  engine : Engine.t;
+  prm : Params.t;
+  node : Node_id.t;
+  on_event : 'p event -> unit;
+  mutable status : status;
+  mutable conf : 'p conf_state option;
+    (* last installed configuration; retained during membership changes
+       for flush inventory, retransmission and leftover delivery *)
+  mutable outbox : (service * int * 'p) list; (* reversed; queued sends *)
+  mutable early_flushes : (Conf_id.t * Node_id.t * flush_record) list;
+    (* MFlush can overtake its MPropose under latency jitter *)
+  mutable counter : int; (* conf-id counter source *)
+  mutable my_round : int; (* gather round stamp; stale rounds never
+                             interrupt a flush or an installed view *)
+  gather_rounds : (Node_id.t, int) Hashtbl.t; (* highest round seen *)
+  mutable era : int; (* bumped on every status change; guards timers *)
+  last_heard : (Node_id.t, Time.t) Hashtbl.t;
+  mutable last_sent : Time.t;
+  mutable last_probe : Time.t;
+  mutable installed_count : int;
+  mutable periodic_started : bool;
+}
+
+let node t = t.node
+let params t = t.prm
+let installed_count t = t.installed_count
+
+let current_view t =
+  match (t.status, t.conf) with
+  | Installed, Some cs -> Some cs.cview
+  | _ -> None
+
+let is_installed t = match t.status with Installed -> true | _ -> false
+
+let store_stats t =
+  match t.conf with
+  | Some cs -> Some (Hashtbl.length cs.store, cs.evicted_below)
+  | None -> None
+
+let next_counter t =
+  let c = max (t.counter + 1) (Time.to_us (Engine.now t.engine)) in
+  t.counter <- c;
+  c
+
+let log_src = Logs.Src.create "repro.gcs" ~doc:"group communication"
+
+module Log = (val Logs.src_log log_src)
+
+let dbg t detail =
+  Log.debug (fun m -> m "[%a n%d] %s" Time.pp (Engine.now t.engine) t.node detail)
+
+let set_status t status =
+  t.era <- t.era + 1;
+  t.status <- status
+
+(* ------------------------------------------------------------------ *)
+(* Wire sizes (bytes): a rough but monotone model used for bandwidth.  *)
+
+let size_of_wire prm = function
+  | Data d -> prm.Params.header_bytes + d.d_size
+  | Order { o_entries; _ } -> 24 + (12 * List.length o_entries)
+  | Ack _ -> 24
+  | Heartbeat _ -> 16
+  | Probe _ -> 24
+  | MGather { g_set; _ } -> 32 + (8 * Node_id.Set.cardinal g_set)
+  | MPropose { m_members; _ } -> 32 + (8 * Node_id.Set.cardinal m_members)
+  | MFlush { f_record; _ } -> 48 + (8 * List.length f_record.fr_inventory)
+  | MRetrans { r_entries; _ } ->
+    List.fold_left
+      (fun acc (_, d) -> acc + prm.Params.header_bytes + d.d_size + 8)
+      24 r_entries
+  | MReady _ -> 24
+  | MInstall { i_members; _ } -> 32 + (8 * Node_id.Set.cardinal i_members)
+  | Nack _ -> 32
+  | Repair { q_entries; _ } ->
+    List.fold_left
+      (fun acc (_, d) -> acc + prm.Params.header_bytes + d.d_size + 8)
+      24 q_entries
+
+let multicast_set t ~dsts msg =
+  let dsts =
+    Node_id.Set.elements dsts
+    |> List.filter (fun n -> not (Node_id.equal n t.node))
+  in
+  t.last_sent <- Engine.now t.engine;
+  Network.multicast t.net ~src:t.node ~dsts ~size:(size_of_wire t.prm msg) msg
+
+let unicast t ~dst msg =
+  t.last_sent <- Engine.now t.engine;
+  Network.unicast t.net ~src:t.node ~dst ~size:(size_of_wire t.prm msg) msg
+
+let broadcast_component t msg =
+  t.last_sent <- Engine.now t.engine;
+  Network.broadcast_component t.net ~src:t.node ~size:(size_of_wire t.prm msg) msg
+
+(* ------------------------------------------------------------------ *)
+(* Data plane within an installed configuration.                       *)
+
+let new_conf_state view =
+  {
+    cview = view;
+    coord = Node_id.Set.min_elt view.members;
+    next_lseq = 0;
+    own_pending = Hashtbl.create 16;
+    data_buf = Hashtbl.create 64;
+    pending_assignment = Hashtbl.create 64;
+    store = Hashtbl.create 256;
+    evicted_below = 0;
+    have_upto = 0;
+    delivered_upto = 0;
+    safe_upto = 0;
+    acks = Hashtbl.create 8;
+    max_safe_seq = 0;
+    next_seq = 0;
+    pending_order = [];
+    order_armed = false;
+    ack_armed = false;
+  }
+
+let i_am_coord t cs = Node_id.equal t.node cs.coord
+
+let recompute_safe cs =
+  let min_ack =
+    Node_id.Set.fold
+      (fun m acc ->
+        let a = match Hashtbl.find_opt cs.acks m with Some a -> a | None -> 0 in
+        min acc a)
+      cs.cview.members max_int
+  in
+  if min_ack > cs.safe_upto then cs.safe_upto <- min_ack
+
+(* Deliver every ready message: next in sequence, present, and either
+   agreed service or within the safe prefix. *)
+let rec try_deliver t cs =
+  let next = cs.delivered_upto + 1 in
+  match Hashtbl.find_opt cs.store next with
+  | None -> ()
+  | Some d ->
+    let deliverable =
+      match d.d_service with Agreed -> true | Safe -> next <= cs.safe_upto
+    in
+    if deliverable then begin
+      cs.delivered_upto <- next;
+      t.on_event
+        (Deliver
+           {
+             sender = d.d_sender;
+             payload = d.d_payload;
+             conf = d.d_conf;
+             seq = next;
+             in_regular = true;
+           });
+      try_deliver t cs
+    end
+
+(* Messages below the safe line are held by every member (safe = everyone
+   acked contiguous receipt), so they can never be needed for
+   retransmission: evict them in chunks to bound memory. *)
+let evict t cs =
+  ignore t;
+  let limit = min cs.safe_upto cs.delivered_upto in
+  if limit - cs.evicted_below > 4096 then begin
+    for s = cs.evicted_below + 1 to limit do
+      Hashtbl.remove cs.store s
+    done;
+    cs.evicted_below <- limit
+  end
+
+let rec note_have_advanced t cs =
+  let rec advance () =
+    if Hashtbl.mem cs.store (cs.have_upto + 1) then begin
+      cs.have_upto <- cs.have_upto + 1;
+      advance ()
+    end
+  in
+  advance ();
+  (* Our own cumulative ack is visible locally at once. *)
+  Hashtbl.replace cs.acks t.node cs.have_upto;
+  recompute_safe cs;
+  try_deliver t cs;
+  evict t cs;
+  if not cs.ack_armed then begin
+    cs.ack_armed <- true;
+    (* Acknowledge promptly while safe-service messages wait for
+       stability; otherwise only at a slow housekeeping cadence (the
+       acks then serve eviction, not latency). *)
+    let delay =
+      if cs.max_safe_seq > cs.safe_upto then t.prm.ack_delay
+      else Time.scale t.prm.ack_delay 25.
+    in
+    let era = t.era in
+    ignore
+      (Engine.schedule t.engine ~delay (fun () ->
+           if era = t.era then begin
+             cs.ack_armed <- false;
+             multicast_set t ~dsts:cs.cview.members
+               (Ack { a_conf = cs.cview.id; a_upto = cs.have_upto });
+             (* Re-arm if safety progress is still pending. *)
+             if cs.max_safe_seq > cs.safe_upto then note_have_advanced t cs
+           end))
+  end
+
+let store_message t cs ~seq (d : 'p data) =
+  Hashtbl.replace cs.store seq d;
+  (* An order assignment for one of our own messages confirms the
+     sequencer received it: stop the resend clock. *)
+  if Node_id.equal d.d_sender t.node then Hashtbl.remove cs.own_pending d.d_lseq;
+  (match d.d_service with
+  | Safe -> if seq > cs.max_safe_seq then cs.max_safe_seq <- seq
+  | Agreed -> ());
+  Hashtbl.remove cs.data_buf (d.d_sender, d.d_lseq);
+  Hashtbl.remove cs.pending_assignment (d.d_sender, d.d_lseq)
+
+let flush_order_batch t cs =
+  let entries = List.rev cs.pending_order in
+  cs.pending_order <- [];
+  if entries <> [] then begin
+    let numbered =
+      List.map
+        (fun (sender, lseq) ->
+          cs.next_seq <- cs.next_seq + 1;
+          (cs.next_seq, sender, lseq))
+        entries
+    in
+    List.iter
+      (fun (seq, sender, lseq) ->
+        match Hashtbl.find_opt cs.data_buf (sender, lseq) with
+        | Some d -> store_message t cs ~seq d
+        | None -> Hashtbl.replace cs.pending_assignment (sender, lseq) seq)
+      numbered;
+    multicast_set t ~dsts:cs.cview.members
+      (Order { o_conf = cs.cview.id; o_entries = numbered });
+    note_have_advanced t cs
+  end
+
+let coord_enqueue_order t cs ~sender ~lseq =
+  cs.pending_order <- (sender, lseq) :: cs.pending_order;
+  if not cs.order_armed then begin
+    cs.order_armed <- true;
+    let era = t.era in
+    ignore
+      (Engine.schedule t.engine ~delay:t.prm.order_delay (fun () ->
+           if era = t.era then begin
+             cs.order_armed <- false;
+             flush_order_batch t cs
+           end))
+  end
+
+(* A data message for the current (or retained old) configuration. When
+   installed, the coordinator assigns it a place in the total order; any
+   member may instead be completing an assignment it already knows. *)
+let handle_data t cs ~installed (d : 'p data) =
+  match Hashtbl.find_opt cs.pending_assignment (d.d_sender, d.d_lseq) with
+  | Some seq ->
+    store_message t cs ~seq d;
+    if installed then note_have_advanced t cs
+  | None ->
+    if not (Hashtbl.mem cs.data_buf (d.d_sender, d.d_lseq)) then begin
+      Hashtbl.replace cs.data_buf (d.d_sender, d.d_lseq) d;
+      if installed && i_am_coord t cs then
+        coord_enqueue_order t cs ~sender:d.d_sender ~lseq:d.d_lseq
+    end
+
+let handle_order t cs ~installed o_entries =
+  List.iter
+    (fun (seq, sender, lseq) ->
+      if seq > cs.next_seq then cs.next_seq <- seq;
+      if not (Hashtbl.mem cs.store seq) then
+        match Hashtbl.find_opt cs.data_buf (sender, lseq) with
+        | Some d -> store_message t cs ~seq d
+        | None -> Hashtbl.replace cs.pending_assignment (sender, lseq) seq)
+    o_entries;
+  if installed then note_have_advanced t cs
+
+let handle_ack t cs ~from ~upto =
+  let prev = match Hashtbl.find_opt cs.acks from with Some a -> a | None -> 0 in
+  if upto > prev then begin
+    Hashtbl.replace cs.acks from upto;
+    recompute_safe cs;
+    try_deliver t cs;
+    evict t cs
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sending                                                             *)
+
+let send_in_conf t cs ~service ~size payload =
+  cs.next_lseq <- cs.next_lseq + 1;
+  let d =
+    {
+      d_conf = cs.cview.id;
+      d_sender = t.node;
+      d_lseq = cs.next_lseq;
+      d_service = service;
+      d_payload = payload;
+      d_size = size;
+    }
+  in
+  Hashtbl.replace cs.own_pending d.d_lseq (d, Engine.now t.engine);
+  (* Local handling first (self-receipt), then the wire. *)
+  handle_data t cs ~installed:true d;
+  multicast_set t ~dsts:cs.cview.members (Data d)
+
+let send t ~service ~size payload =
+  match (t.status, t.conf) with
+  | Installed, Some cs -> send_in_conf t cs ~service ~size payload
+  | Down, _ -> ()
+  | _ -> t.outbox <- (service, size, payload) :: t.outbox
+
+let drain_outbox t cs =
+  let queued = List.rev t.outbox in
+  t.outbox <- [];
+  List.iter (fun (service, size, payload) -> send_in_conf t cs ~service ~size payload) queued
+
+(* ------------------------------------------------------------------ *)
+(* Membership: gather / propose / flush / install.                     *)
+
+let rec start_gather t =
+  match t.status with
+  | Down | Gathering _ -> ()
+  | Idle | Installed | Flushing _ ->
+    let gs = { g_members = Node_id.Set.singleton t.node; g_token = 0; g_waiting_proposal = false } in
+    dbg t "start_gather";
+    set_status t (Gathering gs);
+    t.early_flushes <- [];
+    t.my_round <- t.my_round + 1;
+    broadcast_component t (MGather { g_round = t.my_round; g_set = gs.g_members });
+    arm_stability t gs
+
+and arm_stability t gs =
+  let era = t.era and token = gs.g_token in
+  ignore
+    (Engine.schedule t.engine ~delay:t.prm.gather_window (fun () ->
+         if era = t.era && token = gs.g_token then gather_stable t gs))
+
+and gather_stable t gs =
+  match t.status with
+  | Gathering gs' when gs' == gs ->
+    if Node_id.equal (Node_id.Set.min_elt gs.g_members) t.node then begin
+      (* I coordinate the new configuration. *)
+      dbg t
+        (Printf.sprintf "propose with %d members"
+           (Node_id.Set.cardinal gs.g_members));
+      let vid = Conf_id.{ coord = t.node; counter = next_counter t } in
+      multicast_set t ~dsts:gs.g_members
+        (MPropose { m_vid = vid; m_members = gs.g_members });
+      enter_flushing t ~vid ~members:gs.g_members
+    end
+    else begin
+      gs.g_waiting_proposal <- true;
+      let era = t.era in
+      ignore
+        (Engine.schedule t.engine ~delay:t.prm.propose_timeout (fun () ->
+             if era = t.era then
+               match t.status with
+               | Gathering gs' when gs' == gs && gs.g_waiting_proposal ->
+                 restart_gather t
+               | _ -> ()))
+    end
+  | _ -> ()
+
+and restart_gather t =
+  (* Force a fresh epidemic round (status must leave Gathering first). *)
+  (match t.status with Gathering _ -> set_status t Idle | _ -> ());
+  start_gather t
+
+and merge_gather t ?(fresh = true) set' =
+  match t.status with
+  | Gathering gs ->
+    let merged = Node_id.Set.union gs.g_members set' in
+    if not (Node_id.Set.equal merged gs.g_members) then begin
+      gs.g_members <- merged;
+      gs.g_token <- gs.g_token + 1;
+      gs.g_waiting_proposal <- false;
+      broadcast_component t (MGather { g_round = t.my_round; g_set = merged });
+      arm_stability t gs
+    end
+    else if fresh && not (Node_id.Set.equal merged set') then
+      (* A newly started gatherer is missing members we know about:
+         inform it (stale duplicates stay silent to avoid storms). *)
+      broadcast_component t (MGather { g_round = t.my_round; g_set = merged })
+  | _ ->
+    start_gather t;
+    merge_gather t ~fresh set'
+
+and my_flush_record t =
+  match t.conf with
+  | None ->
+    { fr_old_conf = None; fr_evicted = 0; fr_inventory = []; fr_delivered = 0 }
+  | Some cs ->
+    let inv =
+      Hashtbl.fold (fun seq _ acc -> seq :: acc) cs.store []
+      |> List.sort Int.compare
+    in
+    {
+      fr_old_conf = Some cs.cview.id;
+      fr_evicted = cs.evicted_below;
+      fr_inventory = inv;
+      fr_delivered = cs.delivered_upto;
+    }
+
+and enter_flushing t ~vid ~members =
+  let fs =
+    {
+      fl_vid = vid;
+      fl_members = members;
+      fl_coord = vid.Conf_id.coord;
+      fl_records = Hashtbl.create 8;
+      fl_retrans_sent = false;
+      fl_ready_sent = false;
+      fl_group = Node_id.Set.empty;
+      fl_union_max = 0;
+      fl_ready = Hashtbl.create 8;
+    }
+  in
+  dbg t
+    (Printf.sprintf "enter_flushing vid=%s members=%d" (Conf_id.to_string vid)
+       (Node_id.Set.cardinal members));
+  set_status t (Flushing fs);
+  let record = my_flush_record t in
+  Hashtbl.replace fs.fl_records t.node record;
+  multicast_set t ~dsts:members
+    (MFlush { f_vid = vid; f_from = t.node; f_record = record });
+  (* Replay flush records that overtook the proposal. *)
+  let stashed = t.early_flushes in
+  t.early_flushes <- [];
+  List.iter
+    (fun (v, from, r) ->
+      if Conf_id.equal v vid then Hashtbl.replace fs.fl_records from r)
+    stashed;
+  (* Abandon on timeout: cascaded failures restart the gather. *)
+  let era = t.era in
+  ignore
+    (Engine.schedule t.engine ~delay:t.prm.flush_timeout (fun () ->
+         if era = t.era then
+           match t.status with
+           | Flushing fs' when fs' == fs ->
+             dbg t
+               (Printf.sprintf "flush timeout vid=%s (records %d/%d)"
+                  (Conf_id.to_string fs.fl_vid)
+                  (Hashtbl.length fs.fl_records)
+                  (Node_id.Set.cardinal fs.fl_members));
+             restart_gather t
+           | _ -> ()));
+  check_flush t fs
+
+and flush_records_complete fs =
+  Node_id.Set.for_all (fun m -> Hashtbl.mem fs.fl_records m) fs.fl_members
+
+(* Once all flush records are in: compute my old-configuration group, the
+   deliverable union prefix, retransmit what peers miss and I am the
+   lowest-id holder of, and report readiness once I hold everything I
+   must deliver. *)
+and check_flush t fs =
+  if flush_records_complete fs then begin
+    let my_old =
+      match t.conf with Some cs -> Some cs.cview.id | None -> None
+    in
+    (match my_old with
+    | None ->
+      fs.fl_group <- Node_id.Set.singleton t.node;
+      fs.fl_union_max <- 0
+    | Some old_id ->
+      let group =
+        Node_id.Set.filter
+          (fun m ->
+            match Hashtbl.find_opt fs.fl_records m with
+            | Some { fr_old_conf = Some c; _ } -> Conf_id.equal c old_id
+            | _ -> false)
+          fs.fl_members
+      in
+      fs.fl_group <- group;
+      let records =
+        Node_id.Set.elements group
+        |> List.filter_map (fun m -> Hashtbl.find_opt fs.fl_records m)
+      in
+      let base =
+        List.fold_left (fun acc r -> max acc r.fr_evicted) 0 records
+      in
+      let union = Hashtbl.create 256 in
+      List.iter
+        (fun r -> List.iter (fun s -> Hashtbl.replace union s ()) r.fr_inventory)
+        records;
+      let rec contiguous m =
+        if Hashtbl.mem union (m + 1) || m + 1 <= base then contiguous (m + 1)
+        else m
+      in
+      (* Guard: avoid counting below base. *)
+      let max_deliverable = contiguous base in
+      fs.fl_union_max <- max_deliverable;
+      if not fs.fl_retrans_sent then begin
+        fs.fl_retrans_sent <- true;
+        match t.conf with
+        | None -> ()
+        | Some cs ->
+          let needed_by_someone s =
+            Node_id.Set.exists
+              (fun m ->
+                if Node_id.equal m t.node then false
+                else
+                  match Hashtbl.find_opt fs.fl_records m with
+                  | Some r ->
+                    s > r.fr_delivered && s > r.fr_evicted
+                    && not (List.mem s r.fr_inventory)
+                  | None -> false)
+              group
+          in
+          let i_am_min_holder s =
+            let holders =
+              Node_id.Set.filter
+                (fun m ->
+                  match Hashtbl.find_opt fs.fl_records m with
+                  | Some r -> List.mem s r.fr_inventory
+                  | None -> false)
+                group
+            in
+            (not (Node_id.Set.is_empty holders))
+            && Node_id.equal (Node_id.Set.min_elt holders) t.node
+          in
+          let duties =
+            Hashtbl.fold
+              (fun s d acc ->
+                if
+                  s <= max_deliverable && needed_by_someone s
+                  && i_am_min_holder s
+                then (s, d) :: acc
+                else acc)
+              cs.store []
+            |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+          in
+          if duties <> [] then
+            multicast_set t ~dsts:group
+              (MRetrans { r_vid = fs.fl_vid; r_entries = duties })
+      end);
+    (* Readiness: I hold every message I still have to deliver. *)
+    let ready =
+      match t.conf with
+      | None -> true
+      | Some cs ->
+        let rec holds s =
+          s > fs.fl_union_max
+          || (Hashtbl.mem cs.store s && holds (s + 1))
+        in
+        holds (cs.delivered_upto + 1)
+    in
+    if ready && not fs.fl_ready_sent then begin
+      fs.fl_ready_sent <- true;
+      if Node_id.equal t.node fs.fl_coord then begin
+        Hashtbl.replace fs.fl_ready t.node ();
+        coord_check_install t fs
+      end
+      else unicast t ~dst:fs.fl_coord (MReady { y_vid = fs.fl_vid; y_from = t.node })
+    end
+  end
+
+and coord_check_install t fs =
+  let all_ready =
+    Node_id.Set.for_all (fun m -> Hashtbl.mem fs.fl_ready m) fs.fl_members
+  in
+  if all_ready then begin
+    multicast_set t ~dsts:fs.fl_members
+      (MInstall { i_vid = fs.fl_vid; i_members = fs.fl_members });
+    install t fs
+  end
+
+(* Install the new regular configuration: transitional configuration
+   first (old-configuration members continuing together), then the
+   leftover messages that could not be safe-delivered, then the new
+   regular configuration. *)
+and install t fs =
+  (match t.conf with
+  | Some cs ->
+    let trans_members = Node_id.Set.inter fs.fl_group fs.fl_members in
+    t.on_event (Trans_conf { id = cs.cview.id; members = trans_members });
+    let rec deliver_leftovers s =
+      if s <= fs.fl_union_max then
+        match Hashtbl.find_opt cs.store s with
+        | Some d ->
+          cs.delivered_upto <- s;
+          t.on_event
+            (Deliver
+               {
+                 sender = d.d_sender;
+                 payload = d.d_payload;
+                 conf = d.d_conf;
+                 seq = s;
+                 in_regular = false;
+               });
+          deliver_leftovers (s + 1)
+        | None -> () (* hole: nothing beyond is deliverable *)
+    in
+    deliver_leftovers (cs.delivered_upto + 1)
+  | None -> ());
+  dbg t
+    (Printf.sprintf "install %s (%d members)" (Conf_id.to_string fs.fl_vid)
+       (Node_id.Set.cardinal fs.fl_members));
+  let new_view = { id = fs.fl_vid; members = fs.fl_members } in
+  let cs = new_conf_state new_view in
+  t.conf <- Some cs;
+  set_status t Installed;
+  t.installed_count <- t.installed_count + 1;
+  let now = Engine.now t.engine in
+  Node_id.Set.iter (fun m -> Hashtbl.replace t.last_heard m now) new_view.members;
+  t.on_event (Reg_conf new_view);
+  drain_outbox t cs
+
+(* ------------------------------------------------------------------ *)
+(* Wire dispatch                                                       *)
+
+let conf_matches cs conf_id = Conf_id.equal cs.cview.id conf_id
+
+let handle_wire t ~src msg =
+  match t.status with
+  | Down -> ()
+  | status -> (
+    Hashtbl.replace t.last_heard src (Engine.now t.engine);
+    match msg with
+    | Data d -> (
+      match t.conf with
+      | Some cs when conf_matches cs d.d_conf ->
+        handle_data t cs ~installed:(status = Installed) d
+      | _ -> ())
+    | Order { o_conf; o_entries } -> (
+      match t.conf with
+      | Some cs when conf_matches cs o_conf ->
+        handle_order t cs ~installed:(status = Installed) o_entries
+      | _ -> ())
+    | Ack { a_conf; a_upto } -> (
+      match (status, t.conf) with
+      | Installed, Some cs when conf_matches cs a_conf ->
+        handle_ack t cs ~from:src ~upto:a_upto
+      | _ -> ())
+    | Heartbeat _ -> ()
+    | Probe { p_conf } -> (
+      match (status, t.conf) with
+      | Installed, Some cs
+        when (not (Conf_id.equal cs.cview.id p_conf))
+             || not (Node_id.Set.mem src cs.cview.members) ->
+        (* A reachable node in a different configuration: merge. *)
+        start_gather t
+      | _ -> ())
+    | MGather { g_round; g_set } -> (
+      let seen =
+        match Hashtbl.find_opt t.gather_rounds src with Some r -> r | None -> 0
+      in
+      let fresh = g_round > seen in
+      if fresh then Hashtbl.replace t.gather_rounds src g_round;
+      match status with
+      | Idle -> () (* not participating yet *)
+      | Gathering _ -> merge_gather t ~fresh g_set
+      | Installed | Flushing _ ->
+        (* Only a genuinely new gather attempt interrupts; messages left
+           over from the storm that produced this configuration are
+           stale. *)
+        if fresh then merge_gather t ~fresh g_set
+      | Down -> ())
+    | MPropose { m_vid; m_members } -> (
+      match status with
+      | Gathering gs ->
+        (* Accept any proposal covering everything we gathered: a member
+           whose proposal-wait timed out re-gathers from {self} and must
+           still be able to board the proposal that then arrives late. *)
+        if
+          Node_id.Set.mem t.node m_members
+          && Node_id.Set.subset gs.g_members m_members
+        then enter_flushing t ~vid:m_vid ~members:m_members
+        else merge_gather t m_members
+      | Installed | Flushing _ -> merge_gather t m_members
+      | Idle | Down -> ())
+    | MFlush { f_vid; f_from; f_record } -> (
+      match status with
+      | Flushing fs when Conf_id.equal fs.fl_vid f_vid ->
+        Hashtbl.replace fs.fl_records f_from f_record;
+        check_flush t fs
+      | Gathering _ ->
+        if List.length t.early_flushes < 64 then
+          t.early_flushes <- (f_vid, f_from, f_record) :: t.early_flushes
+      | _ -> ())
+    | MRetrans { r_vid; r_entries } -> (
+      match (status, t.conf) with
+      | Flushing fs, Some cs when Conf_id.equal fs.fl_vid r_vid ->
+        List.iter
+          (fun (seq, d) ->
+            if not (Hashtbl.mem cs.store seq) then Hashtbl.replace cs.store seq d)
+          r_entries;
+        check_flush t fs
+      | _ -> ())
+    | MReady { y_vid; y_from } -> (
+      match status with
+      | Flushing fs
+        when Conf_id.equal fs.fl_vid y_vid && Node_id.equal t.node fs.fl_coord ->
+        Hashtbl.replace fs.fl_ready y_from ();
+        coord_check_install t fs
+      | _ -> ())
+    | MInstall { i_vid; i_members = _ } -> (
+      match status with
+      | Flushing fs when Conf_id.equal fs.fl_vid i_vid -> install t fs
+      | _ -> ())
+    | Nack { k_conf; k_from; k_to } -> (
+      match (status, t.conf) with
+      | Installed, Some cs when conf_matches cs k_conf ->
+        let entries =
+          List.filter_map
+            (fun seq ->
+              match Hashtbl.find_opt cs.store seq with
+              | Some d -> Some (seq, d)
+              | None -> None)
+            (List.init (max 0 (k_to - k_from + 1)) (fun i -> k_from + i))
+        in
+        if entries <> [] then
+          unicast t ~dst:src (Repair { q_conf = k_conf; q_entries = entries })
+      | _ -> ())
+    | Repair { q_conf; q_entries } -> (
+      match (status, t.conf) with
+      | Installed, Some cs when conf_matches cs q_conf ->
+        List.iter
+          (fun (seq, d) ->
+            if not (Hashtbl.mem cs.store seq) then store_message t cs ~seq d)
+          q_entries;
+        note_have_advanced t cs
+      | _ -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Periodic duties: heartbeats, failure detection, merge probing.      *)
+
+let rec periodic t =
+  ignore
+    (Engine.schedule t.engine ~delay:t.prm.fd_check_interval (fun () ->
+         (match (t.status, t.conf) with
+         | Installed, Some cs ->
+           let now = Engine.now t.engine in
+           (* Heartbeat if we have been silent. *)
+           if
+             Time.(Time.diff now (Time.min now t.last_sent)
+                   >= t.prm.heartbeat_interval)
+           then multicast_set t ~dsts:cs.cview.members
+               (Heartbeat { h_conf = cs.cview.id });
+           (* Suspect silent members. *)
+           let suspect =
+             Node_id.Set.exists
+               (fun m ->
+                 (not (Node_id.equal m t.node))
+                 &&
+                 match Hashtbl.find_opt t.last_heard m with
+                 | Some heard -> Time.(Time.diff now heard > t.prm.fd_timeout)
+                 | None -> true)
+               cs.cview.members
+           in
+           if suspect then start_gather t
+           else begin
+             (* Loss recovery: ask for ordered messages we lack, and
+                resend own messages the sequencer never ordered. *)
+             if cs.have_upto < cs.next_seq then begin
+               let upper = min cs.next_seq (cs.have_upto + 64) in
+               unicast t ~dst:cs.coord
+                 (Nack
+                    { k_conf = cs.cview.id; k_from = cs.have_upto + 1; k_to = upper })
+             end;
+             Hashtbl.iter
+               (fun lseq (d, sent_at) ->
+                 if Time.(Time.diff now (Time.min now sent_at) > t.prm.fd_timeout)
+                 then begin
+                   Hashtbl.replace cs.own_pending lseq (d, now);
+                   multicast_set t ~dsts:cs.cview.members (Data d)
+                 end)
+               cs.own_pending
+           end;
+           if (not suspect) &&
+             i_am_coord t cs
+             && Time.(Time.diff now (Time.min now t.last_probe)
+                      >= t.prm.probe_interval)
+           then begin
+             t.last_probe <- now;
+             broadcast_component t (Probe { p_conf = cs.cview.id })
+           end
+         | _ -> ());
+         periodic t))
+
+let create ~network ~params ~node ~on_event () =
+  let t =
+    {
+      net = network;
+      engine = Network.engine network;
+      prm = params;
+      node;
+      on_event;
+      status = Idle;
+      conf = None;
+      outbox = [];
+      early_flushes = [];
+      counter = 0;
+      my_round = 0;
+      gather_rounds = Hashtbl.create 16;
+      era = 0;
+      last_heard = Hashtbl.create 16;
+      last_sent = Time.zero;
+      last_probe = Time.zero;
+      installed_count = 0;
+      periodic_started = false;
+    }
+  in
+  Network.register network node ~handler:(fun ~src msg -> handle_wire t ~src msg);
+  t
+
+let join t =
+  match t.status with
+  | Idle ->
+    if not t.periodic_started then begin
+      t.periodic_started <- true;
+      periodic t
+    end;
+    start_gather t
+  | _ -> ()
+
+let crash t =
+  set_status t Down;
+  t.conf <- None;
+  t.outbox <- [];
+  t.early_flushes <- [];
+  Hashtbl.reset t.last_heard;
+  Network.set_up t.net t.node false
+
+let recover t =
+  match t.status with
+  | Down ->
+    Network.set_up t.net t.node true;
+    set_status t Idle;
+    join t
+  | _ -> ()

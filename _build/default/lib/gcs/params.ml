@@ -1,0 +1,56 @@
+open Repro_sim
+
+type t = {
+  heartbeat_interval : Time.t;
+  fd_timeout : Time.t;
+  fd_check_interval : Time.t;
+  probe_interval : Time.t;
+  gather_window : Time.t;
+  propose_timeout : Time.t;
+  flush_timeout : Time.t;
+  order_delay : Time.t;
+  ack_delay : Time.t;
+  header_bytes : int;
+}
+
+let default =
+  {
+    heartbeat_interval = Time.of_ms 25.;
+    fd_timeout = Time.of_ms 150.;
+    fd_check_interval = Time.of_ms 20.;
+    probe_interval = Time.of_ms 120.;
+    gather_window = Time.of_ms 30.;
+    propose_timeout = Time.of_ms 250.;
+    flush_timeout = Time.of_ms 500.;
+    order_delay = Time.of_us 100;
+    ack_delay = Time.of_ms 2.;
+    header_bytes = 48;
+  }
+
+let wan =
+  {
+    heartbeat_interval = Time.of_ms 100.;
+    fd_timeout = Time.of_ms 500.;
+    fd_check_interval = Time.of_ms 100.;
+    probe_interval = Time.of_ms 500.;
+    gather_window = Time.of_ms 150.;
+    propose_timeout = Time.of_ms 800.;
+    flush_timeout = Time.of_sec 3.;
+    order_delay = Time.of_ms 1.;
+    ack_delay = Time.of_ms 5.;
+    header_bytes = 48;
+  }
+
+let fast =
+  {
+    heartbeat_interval = Time.of_ms 5.;
+    fd_timeout = Time.of_ms 16.;
+    fd_check_interval = Time.of_ms 4.;
+    probe_interval = Time.of_ms 24.;
+    gather_window = Time.of_ms 6.;
+    propose_timeout = Time.of_ms 24.;
+    flush_timeout = Time.of_ms 100.;
+    order_delay = Time.of_us 100;
+    ack_delay = Time.of_us 200;
+    header_bytes = 48;
+  }

@@ -1,0 +1,1 @@
+lib/harness/consistency.ml: Action Database Engine Format Hashtbl Int List Replica Repro_core Repro_db Repro_net Types

@@ -1,0 +1,1 @@
+lib/harness/consistency.mli: Format Replica Repro_core

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Action Disk Format Fun List Network Node_id Replica Repro_baselines Repro_core Repro_db Repro_gcs Repro_net Repro_sim Repro_storage

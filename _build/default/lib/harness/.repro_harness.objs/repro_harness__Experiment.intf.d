@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Disk Format Repro_gcs Repro_net Repro_sim Repro_storage Time

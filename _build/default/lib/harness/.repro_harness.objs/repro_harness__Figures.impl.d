@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Action Disk Experiment Format Fun List Network Node_id Printf Replica Repro_core Repro_db Repro_gcs Repro_net Repro_sim Repro_storage Rng Stats Time Topology Workload World

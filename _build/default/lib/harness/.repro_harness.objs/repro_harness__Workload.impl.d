@@ -1,0 +1,1 @@
+lib/harness/workload.ml: Action Fun List Op Printf Replica Repro_core Repro_db Repro_sim Rng Stats Time Value

@@ -1,0 +1,1 @@
+lib/harness/workload.mli: Replica Repro_core Repro_sim Stats Time

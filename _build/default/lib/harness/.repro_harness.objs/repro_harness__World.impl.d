@@ -1,0 +1,1 @@
+lib/harness/world.ml: Action Disk Fun Hashtbl List Network Node_id Op Replica Repro_core Repro_db Repro_gcs Repro_net Repro_sim Repro_storage Topology Value

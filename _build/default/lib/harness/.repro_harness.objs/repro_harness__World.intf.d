@@ -1,0 +1,1 @@
+lib/harness/world.mli: Disk Network Node_id Quorum Replica Repro_core Repro_gcs Repro_net Repro_sim Repro_storage Topology

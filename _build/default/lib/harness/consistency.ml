@@ -1,0 +1,133 @@
+open Repro_db
+open Repro_core
+
+type violation = { v_property : string; v_detail : string }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s: %s" v.v_property v.v_detail
+
+let violation property fmt =
+  Format.kasprintf (fun detail -> { v_property = property; v_detail = detail }) fmt
+
+let ready_engines replicas =
+  List.filter_map
+    (fun r -> if Replica.is_ready r then Some (r, Replica.engine r) else None)
+    replicas
+
+(* The comparable green suffix of an engine: positions above its floor
+   (snapshot-instantiated replicas hold no early bodies). *)
+let green_ids e =
+  List.map (fun a -> a.Action.id) (Engine.green_actions e)
+
+let floor_of e = Engine.green_count e - List.length (Engine.green_actions e)
+
+let check_global_total_order replicas =
+  let engines = ready_engines replicas in
+  let rec pairs = function
+    | [] | [ _ ] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+  in
+  List.concat_map
+    (fun ((ra, ea), (rb, eb)) ->
+      (* Compare the overlap of the two green sequences. *)
+      let fa = floor_of ea and fb = floor_of eb in
+      let base = max fa fb in
+      let ga = green_ids ea and gb = green_ids eb in
+      let drop n l =
+        let rec go n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> go (n - 1) tl in
+        go n l
+      in
+      let ga = drop (base - fa) ga and gb = drop (base - fb) gb in
+      let rec compare_prefix i a b =
+        match (a, b) with
+        | [], _ | _, [] -> []
+        | x :: a', y :: b' ->
+          if Action.Id.equal x y then compare_prefix (i + 1) a' b'
+          else
+            [
+              violation "global-total-order"
+                "replicas %d and %d disagree at green position %d: %a vs %a"
+                (Replica.node ra) (Replica.node rb) i Action.Id.pp x
+                Action.Id.pp y;
+            ]
+      in
+      compare_prefix (base + 1) ga gb)
+    (pairs engines)
+
+let check_global_fifo replicas =
+  let engines = ready_engines replicas in
+  List.concat_map
+    (fun (r, e) ->
+      let seen : (Repro_net.Node_id.t, int) Hashtbl.t = Hashtbl.create 16 in
+      List.filter_map
+        (fun (id : Action.Id.t) ->
+          let prev =
+            match Hashtbl.find_opt seen id.server with
+            | Some i -> i
+            | None ->
+              (* A snapshot-inherited prefix may hide earlier indices:
+                 accept the first occurrence as the baseline. *)
+              id.index - 1
+          in
+          Hashtbl.replace seen id.server id.index;
+          if id.index <> prev + 1 then
+            Some
+              (violation "global-fifo"
+                 "replica %d greens %a after index %d of the same creator"
+                 (Replica.node r) Action.Id.pp id prev)
+          else None)
+        (green_ids e))
+    engines
+
+let check_single_primary replicas =
+  let engines = ready_engines replicas in
+  let in_prim = List.filter (fun (r, _) -> Replica.in_primary r) engines in
+  let indices =
+    List.sort_uniq Int.compare
+      (List.map (fun (_, e) -> (Engine.prim_component e).Types.prim_index) in_prim)
+  in
+  match indices with
+  | [] | [ _ ] -> []
+  | _ ->
+    [
+      violation "single-primary" "replicas operate in %d distinct primaries"
+        (List.length indices);
+    ]
+
+let check_convergence replicas =
+  let engines = ready_engines replicas in
+  match engines with
+  | [] -> []
+  | (r0, e0) :: rest ->
+    let count0 = Engine.green_count e0 in
+    let digest0 = Database.digest (Replica.database r0) in
+    List.concat_map
+      (fun (r, e) ->
+        let issues = ref [] in
+        if Engine.green_count e <> count0 then
+          issues :=
+            violation "convergence" "replica %d green count %d vs replica %d's %d"
+              (Replica.node r) (Engine.green_count e) (Replica.node r0) count0
+            :: !issues;
+        if Database.digest (Replica.database r) <> digest0 then
+          issues :=
+            violation "convergence" "replica %d database differs from replica %d"
+              (Replica.node r) (Replica.node r0)
+            :: !issues;
+        !issues)
+      rest
+
+let check_all ?(converged = false) replicas =
+  check_global_total_order replicas
+  @ check_global_fifo replicas
+  @ check_single_primary replicas
+  @ if converged then check_convergence replicas else []
+
+let assert_ok ?converged replicas =
+  match check_all ?converged replicas with
+  | [] -> ()
+  | violations ->
+    failwith
+      (Format.asprintf "@[<v>consistency violations:@,%a@]"
+         (Format.pp_print_list pp_violation)
+         violations)

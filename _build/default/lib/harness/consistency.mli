@@ -1,0 +1,39 @@
+open Repro_core
+
+(** The global correctness checker: evaluates the paper's safety and
+    liveness properties (§5.2) over a set of replicas.
+
+    All checks are observational — they read engine state, never mutate
+    it — so scenarios and property tests can call them at any point. *)
+
+type violation = {
+  v_property : string;
+  v_detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_global_total_order : Replica.t list -> violation list
+(** Theorem 1: if two replicas both performed their i-th action, the
+    actions are identical — green prefixes must be pairwise consistent. *)
+
+val check_global_fifo : Replica.t list -> violation list
+(** Theorem 2: a replica that performed action [a] of server [s] already
+    performed every earlier action of [s] (modulo a snapshot-inherited
+    prefix) — per-creator indices inside each green sequence must be
+    increasing and gap-free. *)
+
+val check_single_primary : Replica.t list -> violation list
+(** At most one group of live replicas believes it is the primary
+    component, identified by the installed primary index. *)
+
+val check_convergence : Replica.t list -> violation list
+(** After healing and quiescence (liveness, Theorem 3): all ready
+    replicas have equal green counts and equal database digests. *)
+
+val check_all : ?converged:bool -> Replica.t list -> violation list
+(** Every safety check; [converged] (default false) adds the liveness
+    check. *)
+
+val assert_ok : ?converged:bool -> Replica.t list -> unit
+(** Raises [Failure] with a description if any check fails. *)

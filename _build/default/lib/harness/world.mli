@@ -1,0 +1,44 @@
+open Repro_net
+open Repro_storage
+open Repro_core
+
+(** A test/experiment world: a cluster of engine replicas plus fault
+    injection and convergence helpers.  Used by scenarios, examples and
+    the property-based fault-schedule tests. *)
+
+type t
+
+val make :
+  ?net_config:Network.config ->
+  ?params:Repro_gcs.Params.t ->
+  ?disk_config:Disk.config ->
+  ?attach_cpu:bool ->
+  ?quorum_policy:Quorum.policy ->
+  ?seed:int ->
+  n:int ->
+  unit ->
+  t
+(** [n] replicas on nodes [0..n-1], started. *)
+
+val sim : t -> Repro_sim.Engine.t
+val topology : t -> Topology.t
+val cluster : t -> Replica.cluster
+val replicas : t -> Replica.t list
+val replica : t -> Node_id.t -> Replica.t
+val nodes : t -> Node_id.t list
+
+val add_joiner : t -> node:Node_id.t -> sponsors:Node_id.t list -> Replica.t
+(** Adds the node to the topology, creates and starts a joining replica. *)
+
+val run : t -> ms:float -> unit
+(** Advance virtual time. *)
+
+val run_until_quiescent : ?max_ms:float -> t -> unit
+(** Run until the event queue drains or [max_ms] (default 30_000) pass. *)
+
+val submit_update : t -> node:Node_id.t -> key:string -> int -> unit
+(** Fire-and-forget strict update. *)
+
+val heal_and_settle : ?ms:float -> t -> unit
+(** Merge all partitions, recover all crashed replicas, run [ms]
+    (default 5000) to let exchanges finish. *)

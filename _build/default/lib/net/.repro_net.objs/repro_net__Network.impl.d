@@ -1,0 +1,1 @@
+lib/net/network.ml: Engine Hashtbl List Node_id Repro_sim Resource Rng Time Topology

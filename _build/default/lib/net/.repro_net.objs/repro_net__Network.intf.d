@@ -1,0 +1,1 @@
+lib/net/network.mli: Engine Node_id Repro_sim Resource Time Topology

@@ -1,0 +1,150 @@
+open Repro_sim
+
+type config = {
+  propagation : Time.t;
+  bandwidth_bytes_per_sec : float;
+  jitter : float;
+  loss_probability : float;
+  send_cpu_cost : Time.t;
+  recv_cpu_cost : Time.t;
+  recv_cpu_per_kb : Time.t;
+}
+
+let lan_100mbit =
+  {
+    propagation = Time.of_us 100;
+    bandwidth_bytes_per_sec = 12_500_000.; (* 100 Mbit/s *)
+    jitter = 0.05;
+    loss_probability = 0.;
+    send_cpu_cost = Time.of_us 50;
+    recv_cpu_cost = Time.of_us 30;
+    recv_cpu_per_kb = Time.of_us 500;
+  }
+
+let wan_default =
+  {
+    propagation = Time.of_ms 30.;
+    bandwidth_bytes_per_sec = 1_250_000.; (* 10 Mbit/s *)
+    jitter = 0.2;
+    loss_probability = 0.01;
+    send_cpu_cost = Time.of_us 30;
+    recv_cpu_cost = Time.of_us 30;
+    recv_cpu_per_kb = Time.of_us 500;
+  }
+
+type 'msg t = {
+  engine : Engine.t;
+  topology : Topology.t;
+  config : config;
+  rng : Rng.t;
+  handlers : (Node_id.t, src:Node_id.t -> 'msg -> unit) Hashtbl.t;
+  up : (Node_id.t, bool) Hashtbl.t;
+  cpus : (Node_id.t, Resource.t) Hashtbl.t;
+  fifo_horizon : (Node_id.t * Node_id.t, Time.t) Hashtbl.t;
+      (* per-channel FIFO: a message never lands before its predecessor *)
+  mutable messages_sent : int;
+  mutable bytes_sent : int;
+  mutable messages_dropped : int;
+}
+
+let create ~engine ~topology ~config () =
+  {
+    engine;
+    topology;
+    config;
+    rng = Rng.split (Engine.rng engine);
+    handlers = Hashtbl.create 32;
+    up = Hashtbl.create 32;
+    cpus = Hashtbl.create 32;
+    fifo_horizon = Hashtbl.create 64;
+    messages_sent = 0;
+    bytes_sent = 0;
+    messages_dropped = 0;
+  }
+
+let topology t = t.topology
+let engine t = t.engine
+let register t node ~handler = Hashtbl.replace t.handlers node handler
+let attach_cpu t node cpu = Hashtbl.replace t.cpus node cpu
+
+let on_cpu t node ~cost k =
+  match Hashtbl.find_opt t.cpus node with
+  | Some cpu when Time.(cost > Time.zero) -> Resource.submit cpu ~duration:cost k
+  | _ -> k ()
+let set_up t node b = Hashtbl.replace t.up node b
+let is_up t node = match Hashtbl.find_opt t.up node with Some b -> b | None -> true
+
+let latency t ~size =
+  let serialisation =
+    Time.of_sec (float_of_int size /. t.config.bandwidth_bytes_per_sec)
+  in
+  let base = Time.add t.config.propagation ~span:serialisation in
+  let jitter = Rng.uniform_span t.rng (Time.scale base t.config.jitter) in
+  Time.add base ~span:jitter
+
+let recv_cost t ~size =
+  Time.add t.config.recv_cpu_cost
+    ~span:(Time.scale t.config.recv_cpu_per_kb (float_of_int size /. 1024.))
+
+let deliver t ~src ~dst ~size msg =
+  (* Re-checked at delivery time: partition cuts or crashes that happened
+     while the message was in flight drop it. *)
+  if is_up t dst && Topology.connected t.topology src dst then
+    match Hashtbl.find_opt t.handlers dst with
+    | Some handler ->
+      on_cpu t dst ~cost:(recv_cost t ~size) (fun () ->
+          if is_up t dst then handler ~src msg)
+    | None -> t.messages_dropped <- t.messages_dropped + 1
+  else t.messages_dropped <- t.messages_dropped + 1
+
+let unicast_now t ~src ~dst ~size msg =
+  if not (is_up t src) then t.messages_dropped <- t.messages_dropped + 1
+  else if not (Topology.connected t.topology src dst) then
+    t.messages_dropped <- t.messages_dropped + 1
+  else if Rng.float t.rng 1.0 < t.config.loss_probability then begin
+    t.messages_sent <- t.messages_sent + 1;
+    t.messages_dropped <- t.messages_dropped + 1
+  end
+  else begin
+    t.messages_sent <- t.messages_sent + 1;
+    t.bytes_sent <- t.bytes_sent + size;
+    let delay =
+      if Node_id.equal src dst then Time.of_us 1 else latency t ~size
+    in
+    (* Channels are FIFO (as a TCP link or an in-order NIC queue): a
+       message is never delivered before one sent earlier on the same
+       (src, dst) channel. *)
+    let now = Engine.now t.engine in
+    let arrival = Time.add now ~span:delay in
+    let arrival =
+      match Hashtbl.find_opt t.fifo_horizon (src, dst) with
+      | Some horizon when Time.(arrival <= horizon) ->
+        Time.add horizon ~span:(Time.of_us 1)
+      | _ -> arrival
+    in
+    Hashtbl.replace t.fifo_horizon (src, dst) arrival;
+    ignore
+      (Engine.schedule_at t.engine ~at:arrival (fun () ->
+           deliver t ~src ~dst ~size msg))
+  end
+
+let unicast t ~src ~dst ~size msg =
+  on_cpu t src ~cost:t.config.send_cpu_cost (fun () ->
+      unicast_now t ~src ~dst ~size msg)
+
+let multicast t ~src ~dsts ~size msg =
+  (* One NIC operation: the send-side CPU cost is charged once. *)
+  on_cpu t src ~cost:t.config.send_cpu_cost (fun () ->
+      List.iter (fun dst -> unicast_now t ~src ~dst ~size msg) dsts)
+
+let broadcast_component t ~src ~size msg =
+  let component = Topology.component_of t.topology src in
+  let dsts =
+    Node_id.Set.elements component
+    |> List.filter (fun n -> (not (Node_id.equal n src)) && Hashtbl.mem t.handlers n)
+  in
+  multicast t ~src ~dsts ~size msg
+
+let messages_sent t = t.messages_sent
+let bytes_sent t = t.bytes_sent
+let messages_dropped t = t.messages_dropped

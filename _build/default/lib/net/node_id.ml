@@ -1,0 +1,17 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let hash = Hashtbl.hash
+let pp ppf t = Format.fprintf ppf "n%d" t
+let to_string t = Format.asprintf "%a" pp t
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let set_of_list l = Set.of_list l
+
+let pp_set ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",") pp)
+    (Set.elements s)

@@ -1,0 +1,106 @@
+type t = {
+  mutable group_of : int Node_id.Map.t; (* node -> component label *)
+  mutable next_label : int;
+  mutable epoch : int;
+}
+
+let create ~nodes =
+  let group_of =
+    List.fold_left (fun m n -> Node_id.Map.add n 0 m) Node_id.Map.empty nodes
+  in
+  { group_of; next_label = 1; epoch = 0 }
+
+let nodes t = List.map fst (Node_id.Map.bindings t.group_of)
+
+let label t n =
+  match Node_id.Map.find_opt n t.group_of with
+  | Some g -> g
+  | None -> invalid_arg (Format.asprintf "Topology: unknown node %a" Node_id.pp n)
+
+let connected t a b = Node_id.equal a b || label t a = label t b
+
+let component_of t n =
+  let g = label t n in
+  Node_id.Map.fold
+    (fun node g' acc -> if g' = g then Node_id.Set.add node acc else acc)
+    t.group_of Node_id.Set.empty
+
+let components t =
+  let by_label = Hashtbl.create 8 in
+  Node_id.Map.iter
+    (fun node g ->
+      let cur =
+        match Hashtbl.find_opt by_label g with
+        | Some s -> s
+        | None -> Node_id.Set.empty
+      in
+      Hashtbl.replace by_label g (Node_id.Set.add node cur))
+    t.group_of;
+  Hashtbl.fold (fun _ s acc -> s :: acc) by_label []
+  |> List.sort (fun a b -> Node_id.compare (Node_id.Set.min_elt a) (Node_id.Set.min_elt b))
+
+let fresh_label t =
+  let l = t.next_label in
+  t.next_label <- l + 1;
+  l
+
+let partition t groups =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun n ->
+         if Hashtbl.mem seen n then
+           invalid_arg "Topology.partition: node listed twice";
+         Hashtbl.add seen n ()))
+    groups;
+  (* Split any unlisted node away from listed ones: unlisted nodes keep
+     their current label only relative to other unlisted nodes; relabel
+     listed groups with fresh labels. *)
+  List.iter
+    (fun group ->
+      let l = fresh_label t in
+      List.iter
+        (fun n ->
+          ignore (label t n);
+          t.group_of <- Node_id.Map.add n l t.group_of)
+        group)
+    groups;
+  t.epoch <- t.epoch + 1
+
+let merge_all t =
+  let l = fresh_label t in
+  t.group_of <- Node_id.Map.map (fun _ -> l) t.group_of;
+  t.epoch <- t.epoch + 1
+
+let merge t witnesses =
+  match witnesses with
+  | [] -> ()
+  | first :: _ ->
+    let labels = List.map (label t) witnesses in
+    let target = label t first in
+    t.group_of <-
+      Node_id.Map.map (fun g -> if List.mem g labels then target else g) t.group_of;
+    t.epoch <- t.epoch + 1
+
+let add_node t n =
+  if Node_id.Map.mem n t.group_of then invalid_arg "Topology.add_node: exists";
+  let target =
+    match components t with
+    | [] -> fresh_label t
+    | comps ->
+      let largest =
+        List.fold_left
+          (fun best c ->
+            if Node_id.Set.cardinal c > Node_id.Set.cardinal best then c else best)
+          (List.hd comps) comps
+      in
+      label t (Node_id.Set.min_elt largest)
+  in
+  t.group_of <- Node_id.Map.add n target t.group_of;
+  t.epoch <- t.epoch + 1
+
+let isolate t n =
+  ignore (label t n);
+  t.group_of <- Node_id.Map.add n (fresh_label t) t.group_of;
+  t.epoch <- t.epoch + 1
+
+let epoch t = t.epoch

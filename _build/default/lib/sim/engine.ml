@@ -1,0 +1,74 @@
+type timer = {
+  at : Time.t;
+  seq : int;
+  action : unit -> unit;
+  mutable active : bool;
+}
+
+type t = {
+  mutable clock : Time.t;
+  mutable seq : int;
+  queue : timer Heap.t;
+  root_rng : Rng.t;
+  mutable stopping : bool;
+}
+
+exception Stopped
+
+let cmp_timer a b =
+  let c = Time.compare a.at b.at in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create ?(seed = 1) () =
+  {
+    clock = Time.zero;
+    seq = 0;
+    queue = Heap.create ~cmp:cmp_timer;
+    root_rng = Rng.of_int seed;
+    stopping = false;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t ~at action =
+  if Time.(at < t.clock) then invalid_arg "Engine.schedule_at: time in the past";
+  let timer = { at; seq = t.seq; action; active = true } in
+  t.seq <- t.seq + 1;
+  Heap.push t.queue timer;
+  timer
+
+let schedule t ~delay action = schedule_at t ~at:(Time.add t.clock ~span:delay) action
+let cancel timer = timer.active <- false
+let is_active timer = timer.active
+let pending t = Heap.length t.queue
+let stop t = t.stopping <- true
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some timer ->
+    if timer.active then begin
+      t.clock <- timer.at;
+      timer.action ()
+    end;
+    true
+
+let run ?until t =
+  t.stopping <- false;
+  let continue = ref true in
+  while !continue do
+    if t.stopping then continue := false
+    else
+      match Heap.peek t.queue with
+      | None -> continue := false
+      | Some next -> (
+        match until with
+        | Some limit when Time.(next.at > limit) ->
+          t.clock <- limit;
+          continue := false
+        | _ -> ignore (step t))
+  done;
+  match until with
+  | Some limit when (not t.stopping) && Time.(t.clock < limit) -> t.clock <- limit
+  | _ -> ()

@@ -1,0 +1,50 @@
+(** The discrete-event simulation engine.
+
+    A single-threaded scheduler: events are closures executed at a virtual
+    time point.  Events scheduled for the same time fire in scheduling
+    order (FIFO tie-break), which keeps runs fully deterministic. *)
+
+type t
+
+type timer
+(** A handle to a scheduled event, usable to cancel it. *)
+
+val create : ?seed:int -> unit -> t
+(** A fresh simulation with its clock at {!Time.zero}.  [seed] (default 1)
+    seeds the root RNG from which component streams should be [split]. *)
+
+val now : t -> Time.t
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The root random stream of this simulation. *)
+
+val schedule : t -> delay:Time.t -> (unit -> unit) -> timer
+(** [schedule t ~delay f] runs [f] at [now t + delay]. *)
+
+val schedule_at : t -> at:Time.t -> (unit -> unit) -> timer
+(** [schedule_at t ~at f] runs [f] at absolute time [at]; [at] must not be
+    in the past. *)
+
+val cancel : timer -> unit
+(** Cancelling an already-fired or cancelled timer is a no-op. *)
+
+val is_active : timer -> bool
+
+val pending : t -> int
+(** Number of events still queued (including cancelled ones not yet
+    reaped). *)
+
+val run : ?until:Time.t -> t -> unit
+(** Executes events in time order until the queue is empty, or until the
+    clock would pass [until] (events at exactly [until] are executed).
+    When stopped by [until], the clock is advanced to [until]. *)
+
+val step : t -> bool
+(** Executes the single next event. Returns [false] if the queue was
+    empty. *)
+
+exception Stopped
+
+val stop : t -> unit
+(** Makes the current [run] return after the current event completes. *)

@@ -1,0 +1,38 @@
+type job = { duration : Time.t; k : unit -> unit }
+
+type t = {
+  engine : Engine.t;
+  queue : job Queue.t;
+  mutable running : bool;
+  mutable busy : Time.t;
+  mutable generation : int; (* bumped on reset to orphan in-flight timers *)
+}
+
+let create engine =
+  { engine; queue = Queue.create (); running = false; busy = Time.zero; generation = 0 }
+
+let rec start_next t =
+  match Queue.take_opt t.queue with
+  | None -> t.running <- false
+  | Some job ->
+    t.running <- true;
+    t.busy <- Time.add t.busy ~span:job.duration;
+    let generation = t.generation in
+    ignore
+      (Engine.schedule t.engine ~delay:job.duration (fun () ->
+           if generation = t.generation then begin
+             job.k ();
+             start_next t
+           end))
+
+let submit t ~duration k =
+  Queue.add { duration; k } t.queue;
+  if not t.running then start_next t
+
+let queue_length t = Queue.length t.queue + if t.running then 1 else 0
+let busy_time t = t.busy
+
+let reset t =
+  Queue.clear t.queue;
+  t.running <- false;
+  t.generation <- t.generation + 1

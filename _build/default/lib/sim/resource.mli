@@ -1,0 +1,23 @@
+(** A serial resource: jobs execute one at a time, FIFO.
+
+    Models a CPU core or any sequential device.  Each job occupies the
+    resource for a duration, then its completion callback fires.  Used to
+    model per-action processing cost, which caps throughput when disk
+    writes are taken off the critical path. *)
+
+type t
+
+val create : Engine.t -> t
+
+val submit : t -> duration:Time.t -> (unit -> unit) -> unit
+(** [submit t ~duration k] queues a job; [k] runs when the job finishes
+    (after all previously queued jobs). *)
+
+val queue_length : t -> int
+(** Jobs waiting or running. *)
+
+val busy_time : t -> Time.t
+(** Cumulative time the resource has spent occupied. *)
+
+val reset : t -> unit
+(** Drops all queued jobs (their callbacks never fire) — crash semantics. *)

@@ -1,0 +1,29 @@
+type entry = { at : Time.t; node : int; tag : string; detail : string }
+
+type t = {
+  capacity : int;
+  mutable entries : entry list; (* newest first *)
+  mutable length : int;
+}
+
+let create ?(capacity = 100_000) () = { capacity; entries = []; length = 0 }
+
+let record t ~at ~node ~tag detail =
+  t.entries <- { at; node; tag; detail } :: t.entries;
+  t.length <- t.length + 1;
+  if t.length > t.capacity * 2 then begin
+    (* Amortised trim: keep the newest [capacity] entries. *)
+    t.entries <- List.filteri (fun i _ -> i < t.capacity) t.entries;
+    t.length <- t.capacity
+  end
+
+let entries t = List.rev t.entries
+let find_all t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
+let count t ~tag = List.length (find_all t ~tag)
+
+let clear t =
+  t.entries <- [];
+  t.length <- 0
+
+let pp_entry ppf e =
+  Format.fprintf ppf "[%a] n%d %s: %s" Time.pp e.at e.node e.tag e.detail

@@ -1,0 +1,22 @@
+(** Structured, bounded trace of simulation events.
+
+    Primarily a debugging and test-assertion aid: scenarios record what
+    happened (view changes, state transitions, deliveries) and tests can
+    assert over the sequence.  Keeps at most [capacity] most recent
+    entries to bound memory in long runs. *)
+
+type entry = { at : Time.t; node : int; tag : string; detail : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 100_000 entries. *)
+
+val record : t -> at:Time.t -> node:int -> tag:string -> string -> unit
+val entries : t -> entry list
+(** Oldest first. *)
+
+val find_all : t -> tag:string -> entry list
+val count : t -> tag:string -> int
+val clear : t -> unit
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Engine List Repro_sim Rng Time

@@ -1,0 +1,1 @@
+lib/storage/wlog.ml: Disk List

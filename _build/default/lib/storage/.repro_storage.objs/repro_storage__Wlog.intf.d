@@ -1,0 +1,1 @@
+lib/storage/wlog.mli: Disk Engine Repro_sim

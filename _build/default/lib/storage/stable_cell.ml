@@ -1,0 +1,42 @@
+type 'a t = {
+  disk : Disk.t;
+  mutable volatile : 'a;
+  mutable volatile_epoch : int;
+  mutable durable : 'a;
+  mutable durable_epoch : int;
+}
+
+let create ~disk ~init =
+  { disk; volatile = init; volatile_epoch = 0; durable = init; durable_epoch = 0 }
+
+let get t = t.volatile
+
+let set t v =
+  t.volatile <- v;
+  t.volatile_epoch <- Disk.note_write t.disk
+
+let sync t k =
+  let snapshot = t.volatile and epoch = t.volatile_epoch in
+  Disk.force t.disk (fun () ->
+      if epoch >= t.durable_epoch then begin
+        t.durable <- snapshot;
+        t.durable_epoch <- epoch
+      end;
+      k ())
+
+let set_sync t v k =
+  set t v;
+  sync t k
+
+let crash t =
+  Disk.crash t.disk;
+  (* In delayed mode acknowledged-but-unflushed values are lost too:
+     survival is governed by the disk's durable epoch. *)
+  if t.volatile_epoch > Disk.last_durable_epoch t.disk then begin
+    t.volatile <- t.durable;
+    t.volatile_epoch <- t.durable_epoch
+  end
+  else begin
+    t.durable <- t.volatile;
+    t.durable_epoch <- t.volatile_epoch
+  end

@@ -1,0 +1,20 @@
+(** A durable single-value register on a simulated {!Disk}.
+
+    Holds one value of arbitrary type (e.g. the replication engine's
+    [vulnerable] record or [primComponent]).  [set] updates the volatile
+    copy; [sync] makes the current copy durable.  On [crash] the register
+    reverts to the last durable value. *)
+
+type 'a t
+
+val create : disk:Disk.t -> init:'a -> 'a t
+(** The initial value is considered durable. *)
+
+val get : 'a t -> 'a
+val set : 'a t -> 'a -> unit
+
+val sync : 'a t -> (unit -> unit) -> unit
+(** Durability callback, group-committed on the underlying disk. *)
+
+val set_sync : 'a t -> 'a -> (unit -> unit) -> unit
+val crash : 'a t -> unit

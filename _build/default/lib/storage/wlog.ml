@@ -1,0 +1,32 @@
+type 'entry stamped = { entry : 'entry; epoch : int }
+
+type 'entry t = {
+  disk : Disk.t;
+  mutable entries : 'entry stamped list; (* newest first *)
+}
+
+let create ~engine:_ ~disk () = { disk; entries = [] }
+let disk t = t.disk
+
+let append t entry =
+  let epoch = Disk.note_write t.disk in
+  t.entries <- { entry; epoch } :: t.entries
+
+let sync t k = Disk.force t.disk k
+
+let append_sync t entry k =
+  append t entry;
+  sync t k
+
+let crash t =
+  Disk.crash t.disk;
+  let durable = Disk.last_durable_epoch t.disk in
+  t.entries <- List.filter (fun s -> s.epoch <= durable) t.entries
+
+let recover t = List.rev_map (fun s -> s.entry) t.entries
+let length t = List.length t.entries
+
+let compact t ~keep =
+  (* [keep] may be stateful and expects append order (oldest first). *)
+  t.entries <-
+    List.rev (List.filter (fun s -> keep s.entry) (List.rev t.entries))

@@ -1,0 +1,44 @@
+open Repro_sim
+
+(** A typed write-ahead log on top of a simulated {!Disk}.
+
+    Entries are appended to the device buffer immediately; [sync]
+    confirms durability of everything appended so far.  On [crash],
+    entries whose stamp is newer than the disk's last durable epoch are
+    lost (in [Delayed] mode this can include acknowledged entries —
+    the Figure 5(b) trade-off).  [recover] returns the surviving prefix
+    in append order. *)
+
+type 'entry t
+
+val create : engine:Engine.t -> disk:Disk.t -> unit -> 'entry t
+val disk : 'entry t -> Disk.t
+
+val append : 'entry t -> 'entry -> unit
+(** Buffer an entry; not yet durable. *)
+
+val sync : 'entry t -> (unit -> unit) -> unit
+(** Make all appended entries durable; callback on completion
+    (group-committed with concurrent syncs on the same disk).  In
+    [Delayed] disk mode, the callback fires quickly and durability is
+    *not* guaranteed. *)
+
+val append_sync : 'entry t -> 'entry -> (unit -> unit) -> unit
+(** [append] then [sync]. *)
+
+val crash : 'entry t -> unit
+(** Applies crash semantics: the non-durable suffix is discarded. *)
+
+val recover : 'entry t -> 'entry list
+(** Surviving entries, oldest first.  Valid any time; after [crash] it
+    reflects the lost suffix. *)
+
+val compact : 'entry t -> keep:('entry -> bool) -> unit
+(** Drops entries for which [keep] is false; [keep] is applied in append
+    order (oldest first), so it may carry state.  Models atomically
+    switching to a freshly written log segment, so it should only be
+    called when the retained entries' durability has been established
+    (e.g. right after a checkpoint sync). *)
+
+val length : 'entry t -> int
+(** Entries currently in the log (durable or not). *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Corel Engine Fun List Network Printf Repro_baselines Repro_gcs Repro_net Repro_sim Repro_storage Time Topology Twopc

@@ -1,0 +1,1 @@
+test/test_db.ml: Action Alcotest Database Executor List Op Printf Procedure QCheck QCheck_alcotest Repro_db String Value

@@ -1,0 +1,1 @@
+test/test_gcs.ml: Alcotest Conf_id Endpoint Engine Gen Hashtbl List Network Node_id Params Printf QCheck QCheck_alcotest Repro_gcs Repro_net Repro_sim String Time Topology

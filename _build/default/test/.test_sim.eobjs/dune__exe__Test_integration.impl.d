@@ -1,0 +1,1 @@
+test/test_integration.ml: Action Alcotest Consistency Engine Format List Node_id Op Printf Replica Repro_core Repro_db Repro_harness Repro_net String Topology Types Value World

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Engine Fun Gen List Network Printf QCheck QCheck_alcotest Repro_net Repro_sim Resource Time Topology

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Consistency Fun List Printf QCheck QCheck_alcotest Replica Repro_core Repro_harness Repro_net String Topology World

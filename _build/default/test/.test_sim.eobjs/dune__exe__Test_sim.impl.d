@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Engine Float Fun Heap Int List QCheck QCheck_alcotest Repro_sim Resource Rng Stats Time Trace

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Disk Engine Int List Printf Repro_sim Repro_storage Stable_cell Time Wlog

@@ -1,0 +1,183 @@
+(* Tests of the comparison baselines: two-phase commit and COReL. *)
+
+open Repro_sim
+open Repro_net
+open Repro_baselines
+
+let quiet_lan =
+  {
+    Network.lan_100mbit with
+    send_cpu_cost = Time.zero;
+    recv_cpu_cost = Time.zero;
+    recv_cpu_per_kb = Time.zero;
+  }
+
+let fast_disk =
+  { Repro_storage.Disk.default_forced with sync_latency = Time.of_ms 1. }
+
+(* ------------------------------- 2PC ------------------------------- *)
+
+let twopc ?(n = 4) () =
+  Twopc.make_cluster ~net_config:quiet_lan ~disk_config:fast_disk
+    ~attach_cpu:false
+    ~nodes:(List.init n Fun.id)
+    ()
+
+let run_2pc c ~ms =
+  Engine.run
+    ~until:(Time.add (Engine.now (Twopc.sim c)) ~span:(Time.of_ms ms))
+    (Twopc.sim c)
+
+let test_2pc_commits () =
+  let c = twopc () in
+  let outcomes = ref [] in
+  for _ = 1 to 5 do
+    Twopc.submit c ~node:0 ~on_response:(fun o -> outcomes := o :: !outcomes) ()
+  done;
+  run_2pc c ~ms:500.;
+  Alcotest.(check int) "all responded" 5 (List.length !outcomes);
+  Alcotest.(check bool) "all committed" true
+    (List.for_all (fun o -> o = Twopc.Committed) !outcomes);
+  Alcotest.(check int) "committed counter" 5 (Twopc.committed c)
+
+let test_2pc_different_coordinators () =
+  let c = twopc () in
+  let committed = ref 0 in
+  for node = 0 to 3 do
+    Twopc.submit c ~node
+      ~on_response:(fun o -> if o = Twopc.Committed then incr committed)
+      ()
+  done;
+  run_2pc c ~ms:500.;
+  Alcotest.(check int) "each node can coordinate" 4 !committed
+
+let test_2pc_aborts_on_partition () =
+  let c = twopc () in
+  Topology.partition (Twopc.topology c) [ [ 0; 1 ]; [ 2; 3 ] ];
+  let outcome = ref None in
+  Twopc.submit c ~node:0 ~on_response:(fun o -> outcome := Some o) ();
+  run_2pc c ~ms:3000.;
+  Alcotest.(check bool) "aborted without full connectivity" true
+    (!outcome = Some Twopc.Aborted);
+  Alcotest.(check int) "abort counted" 1 (Twopc.aborted c)
+
+let test_2pc_aborts_on_participant_crash () =
+  let c = twopc () in
+  Twopc.crash c 3;
+  let outcome = ref None in
+  Twopc.submit c ~node:0 ~on_response:(fun o -> outcome := Some o) ();
+  run_2pc c ~ms:3000.;
+  Alcotest.(check bool) "aborted on crashed participant" true
+    (!outcome = Some Twopc.Aborted);
+  Twopc.recover c 3;
+  let second = ref None in
+  Twopc.submit c ~node:0 ~on_response:(fun o -> second := Some o) ();
+  run_2pc c ~ms:3000.;
+  Alcotest.(check bool) "commits again after recovery" true
+    (!second = Some Twopc.Committed)
+
+let test_2pc_two_forced_writes_latency () =
+  (* With 10 ms writes and no jitter the critical path is two writes. *)
+  let disk =
+    { Repro_storage.Disk.default_forced with sync_jitter = 0. }
+  in
+  let c =
+    Twopc.make_cluster ~net_config:quiet_lan ~disk_config:disk
+      ~attach_cpu:false ~nodes:[ 0; 1; 2 ] ()
+  in
+  let at = ref Time.zero in
+  Twopc.submit c ~node:0 ~on_response:(fun _ -> at := Engine.now (Twopc.sim c)) ();
+  run_2pc c ~ms:500.;
+  let ms = Time.to_ms !at in
+  Alcotest.(check bool)
+    (Printf.sprintf "latency ~20ms, got %.2f" ms)
+    true
+    (ms > 19.5 && ms < 23.)
+
+(* ------------------------------ COReL ------------------------------ *)
+
+let corel ?(n = 4) () =
+  let c =
+    Corel.make_cluster ~net_config:quiet_lan ~disk_config:fast_disk
+      ~params:Repro_gcs.Params.fast ~attach_cpu:false
+      ~nodes:(List.init n Fun.id)
+      ()
+  in
+  Corel.start c;
+  c
+
+let run_corel c ~ms =
+  Engine.run
+    ~until:(Time.add (Engine.now (Corel.sim c)) ~span:(Time.of_ms ms))
+    (Corel.sim c)
+
+let test_corel_commits () =
+  let c = corel () in
+  run_corel c ~ms:500.;
+  let responses = ref 0 in
+  for i = 0 to 9 do
+    Corel.submit c ~node:(i mod 4) ~on_response:(fun () -> incr responses) ()
+  done;
+  run_corel c ~ms:500.;
+  Alcotest.(check int) "all committed" 10 !responses;
+  Alcotest.(check int) "counter agrees" 10 (Corel.committed c)
+
+let test_corel_commit_needs_all_acks () =
+  let c = corel ~n:3 () in
+  run_corel c ~ms:500.;
+  (* Cut node 2 away, then submit: the action cannot gather 3 durable
+     acknowledgements in the old view; it commits only after the view
+     change excludes node 2. *)
+  Topology.partition (Corel.topology c) [ [ 0; 1 ]; [ 2 ] ];
+  let committed_at = ref Time.zero in
+  Corel.submit c ~node:0
+    ~on_response:(fun () -> committed_at := Engine.now (Corel.sim c))
+    ();
+  run_corel c ~ms:2000.;
+  Alcotest.(check bool) "committed eventually" true
+    Time.(!committed_at > Time.zero);
+  (* Commit had to wait for the membership change (at least a failure
+     detection timeout), not just a disk write (~1 ms). *)
+  Alcotest.(check bool) "waited for the view change" true
+    Time.(!committed_at > Time.of_ms 510.)
+
+let test_corel_latency_one_forced_write () =
+  let disk = { Repro_storage.Disk.default_forced with sync_jitter = 0. } in
+  let c =
+    Corel.make_cluster ~net_config:quiet_lan ~disk_config:disk
+      ~params:Repro_gcs.Params.default ~attach_cpu:false ~nodes:[ 0; 1; 2 ] ()
+  in
+  Corel.start c;
+  run_corel c ~ms:2000.;
+  let t0 = Engine.now (Corel.sim c) in
+  let at = ref Time.zero in
+  Corel.submit c ~node:0 ~on_response:(fun () -> at := Engine.now (Corel.sim c)) ();
+  run_corel c ~ms:500.;
+  let ms = Time.to_ms (Time.diff !at t0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "latency ~10-14ms, got %.2f" ms)
+    true
+    (ms > 9.5 && ms < 15.)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "twopc",
+        [
+          Alcotest.test_case "commits" `Quick test_2pc_commits;
+          Alcotest.test_case "any coordinator" `Quick test_2pc_different_coordinators;
+          Alcotest.test_case "aborts on partition" `Quick test_2pc_aborts_on_partition;
+          Alcotest.test_case "aborts on crash, recovers" `Quick
+            test_2pc_aborts_on_participant_crash;
+          Alcotest.test_case "two forced writes on the critical path" `Quick
+            test_2pc_two_forced_writes_latency;
+        ] );
+      ( "corel",
+        [
+          Alcotest.test_case "commits" `Quick test_corel_commits;
+          Alcotest.test_case "commit needs all acks" `Quick
+            test_corel_commit_needs_all_acks;
+          Alcotest.test_case "one forced write on the critical path" `Quick
+            test_corel_latency_one_forced_write;
+        ] );
+    ]

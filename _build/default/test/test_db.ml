@@ -1,0 +1,247 @@
+(* Tests of the database substrate: operations, snapshots, digests,
+   procedures, the action executor, and determinism/commutativity
+   properties. *)
+
+open Repro_db
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let test_set_get () =
+  let db = Database.create () in
+  Database.apply db [ Op.Set ("a", Value.Int 1); Op.Set ("b", Value.Text "x") ];
+  Alcotest.(check (option value)) "a" (Some (Value.Int 1)) (Database.get db "a");
+  Alcotest.(check (option value)) "b" (Some (Value.Text "x")) (Database.get db "b");
+  Alcotest.(check (option value)) "missing" None (Database.get db "c")
+
+let test_add_remove () =
+  let db = Database.create () in
+  Database.apply db [ Op.Add ("n", 5); Op.Add ("n", -2) ];
+  Alcotest.(check (option value)) "add accumulates" (Some (Value.Int 3))
+    (Database.get db "n");
+  Database.apply db [ Op.Remove "n" ];
+  Alcotest.(check (option value)) "removed" None (Database.get db "n");
+  Database.apply db [ Op.Add ("n", 7) ];
+  Alcotest.(check (option value)) "add from missing" (Some (Value.Int 7))
+    (Database.get db "n")
+
+let test_set_if_newer () =
+  let db = Database.create () in
+  Database.apply db [ Op.Set_if_newer ("loc", Value.Text "rome", 10) ];
+  Database.apply db [ Op.Set_if_newer ("loc", Value.Text "oslo", 5) ];
+  Alcotest.(check (option value)) "older ts loses" (Some (Value.Text "rome"))
+    (Database.get db "loc");
+  Database.apply db [ Op.Set_if_newer ("loc", Value.Text "lima", 20) ];
+  Alcotest.(check (option value)) "newer ts wins" (Some (Value.Text "lima"))
+    (Database.get db "loc")
+
+let test_snapshot_restore () =
+  let db = Database.create () in
+  Database.apply db [ Op.Set ("k", Value.Int 1) ];
+  let snap = Database.snapshot db in
+  Database.apply db [ Op.Set ("k", Value.Int 2) ];
+  let db2 = Database.of_snapshot snap in
+  Alcotest.(check (option value)) "snapshot frozen" (Some (Value.Int 1))
+    (Database.get db2 "k");
+  Database.restore db snap;
+  Alcotest.(check (option value)) "restore rewinds" (Some (Value.Int 1))
+    (Database.get db "k")
+
+let test_digest_equality () =
+  let a = Database.create () and b = Database.create () in
+  Database.apply a [ Op.Set ("x", Value.Int 1); Op.Set ("y", Value.Int 2) ];
+  Database.apply b [ Op.Set ("y", Value.Int 2) ];
+  Database.apply b [ Op.Set ("x", Value.Int 1) ];
+  Alcotest.(check int) "same state same digest" (Database.digest a)
+    (Database.digest b);
+  Database.apply b [ Op.Set ("x", Value.Int 9) ];
+  Alcotest.(check bool) "diverged digest differs" true
+    (Database.digest a <> Database.digest b)
+
+let test_procedure_transfer () =
+  Procedure.builtins_registered ();
+  let db = Database.create () in
+  Database.apply db [ Op.Set ("alice", Value.Int 100) ];
+  let action =
+    Action.make ~server:0 ~index:1
+      (Action.Active
+         {
+           proc = "transfer";
+           args = [ Value.Text "alice"; Value.Text "bob"; Value.Int 30 ];
+         })
+  in
+  (match Executor.execute db action with
+  | Action.Procedure_output (Value.Int 1) -> ()
+  | r -> Alcotest.failf "unexpected %a" Action.pp_response r);
+  Alcotest.(check (option value)) "debited" (Some (Value.Int 70))
+    (Database.get db "alice");
+  Alcotest.(check (option value)) "credited" (Some (Value.Int 30))
+    (Database.get db "bob");
+  (* Insufficient funds refuse deterministically. *)
+  let too_much =
+    Action.make ~server:0 ~index:2
+      (Action.Active
+         {
+           proc = "transfer";
+           args = [ Value.Text "alice"; Value.Text "bob"; Value.Int 1000 ];
+         })
+  in
+  (match Executor.execute db too_much with
+  | Action.Procedure_output (Value.Int 0) -> ()
+  | r -> Alcotest.failf "unexpected %a" Action.pp_response r);
+  Alcotest.(check (option value)) "unchanged" (Some (Value.Int 70))
+    (Database.get db "alice")
+
+let test_interactive_abort () =
+  let db = Database.create () in
+  Database.apply db [ Op.Set ("seat", Value.Text "free") ];
+  let book expected =
+    Action.make ~server:0 ~index:1
+      (Action.Interactive
+         {
+           expected = [ ("seat", Some (Value.Text expected)) ];
+           updates = [ Op.Set ("seat", Value.Text "taken") ];
+         })
+  in
+  (match Executor.execute db (book "free") with
+  | Action.Committed _ -> ()
+  | r -> Alcotest.failf "expected commit, got %a" Action.pp_response r);
+  (* A second identical interactive action must abort: the read is stale. *)
+  (match Executor.execute db (book "free") with
+  | Action.Aborted -> ()
+  | r -> Alcotest.failf "expected abort, got %a" Action.pp_response r);
+  Alcotest.(check (option value)) "still taken" (Some (Value.Text "taken"))
+    (Database.get db "seat")
+
+let test_executor_query () =
+  let db = Database.create () in
+  Database.apply db [ Op.Set ("q", Value.Int 9) ];
+  let a = Action.make ~server:1 ~index:1 (Action.Query [ "q"; "nope" ]) in
+  match Executor.execute db a with
+  | Action.Committed [ ("q", Some (Value.Int 9)); ("nope", None) ] -> ()
+  | r -> Alcotest.failf "unexpected %a" Action.pp_response r
+
+let test_read_write_action () =
+  let db = Database.create () in
+  Database.apply db [ Op.Set ("c", Value.Int 1) ];
+  let a =
+    Action.make ~server:1 ~index:1
+      (Action.Read_write ([ "c" ], [ Op.Add ("c", 1) ]))
+  in
+  (match Executor.execute db a with
+  | Action.Committed [ ("c", Some (Value.Int 1)) ] -> ()
+  | r -> Alcotest.failf "unexpected %a" Action.pp_response r);
+  Alcotest.(check (option value)) "updated after read" (Some (Value.Int 2))
+    (Database.get db "c")
+
+let prop_commutative_ops_converge =
+  QCheck.Test.make ~name:"commutative ops converge under permutation" ~count:200
+    QCheck.(list (pair (int_bound 3) (int_range (-10) 10)))
+    (fun pairs ->
+      let ops =
+        List.map (fun (k, n) -> Op.Add (Printf.sprintf "k%d" k, n)) pairs
+      in
+      let a = Database.create () and b = Database.create () in
+      Database.apply a ops;
+      Database.apply b (List.rev ops);
+      Database.digest a = Database.digest b)
+
+let prop_executor_deterministic =
+  QCheck.Test.make ~name:"execution is deterministic" ~count:100
+    QCheck.(list (pair (int_bound 5) (int_range (-5) 5)))
+    (fun pairs ->
+      let actions =
+        List.mapi
+          (fun i (k, n) ->
+            Action.make ~server:0 ~index:(i + 1)
+              (Action.Update [ Op.Set (Printf.sprintf "k%d" k, Value.Int n) ]))
+          pairs
+      in
+      let run () =
+        let db = Database.create () in
+        List.iter (fun a -> ignore (Executor.execute db a)) actions;
+        Database.digest db
+      in
+      run () = run ())
+
+let test_procedure_cas () =
+  Procedure.builtins_registered ();
+  let db = Database.create () in
+  Database.apply db [ Op.Set ("cfg", Value.Text "v1") ];
+  let cas expected desired =
+    Action.make ~server:0 ~index:1
+      (Action.Active
+         { proc = "cas"; args = [ Value.Text "cfg"; expected; desired ] })
+  in
+  (match Executor.execute db (cas (Value.Text "v1") (Value.Text "v2")) with
+  | Action.Procedure_output (Value.Int 1) -> ()
+  | r -> Alcotest.failf "cas should succeed: %a" Action.pp_response r);
+  (match Executor.execute db (cas (Value.Text "v1") (Value.Text "v3")) with
+  | Action.Procedure_output (Value.Int 0) -> ()
+  | r -> Alcotest.failf "stale cas should fail: %a" Action.pp_response r);
+  Alcotest.(check (option value)) "value is v2" (Some (Value.Text "v2"))
+    (Database.get db "cfg")
+
+let test_snapshot_size_grows () =
+  let db = Database.create () in
+  let s0 = Database.snapshot_size (Database.snapshot db) in
+  Database.apply db [ Op.Set ("key", Value.Text (String.make 1000 'a')) ];
+  let s1 = Database.snapshot_size (Database.snapshot db) in
+  Alcotest.(check bool) "size reflects content" true (s1 > s0 + 1000)
+
+let test_bindings_sorted () =
+  let db = Database.create () in
+  Database.apply db
+    [ Op.Set ("c", Value.Int 3); Op.Set ("a", Value.Int 1); Op.Set ("b", Value.Int 2) ];
+  Alcotest.(check (list string)) "key order" [ "a"; "b"; "c" ]
+    (List.map fst (Database.bindings db))
+
+let prop_value_compare_total_order =
+  QCheck.Test.make ~name:"value comparison is antisymmetric" ~count:200
+    QCheck.(pair (pair bool small_int) (pair bool small_int))
+    (fun ((ba, na), (bb, nb)) ->
+      let v b n = if b then Value.Int n else Value.Text (string_of_int n) in
+      let a = v ba na and b = v bb nb in
+      compare (Value.compare a b) 0 = -compare (Value.compare b a) 0)
+
+let test_action_id_order () =
+  let open Action.Id in
+  Alcotest.(check bool) "server major" true
+    (compare { server = 1; index = 9 } { server = 2; index = 1 } < 0);
+  Alcotest.(check bool) "index minor" true
+    (compare { server = 1; index = 1 } { server = 1; index = 2 } < 0);
+  Alcotest.(check bool) "equal" true
+    (equal { server = 3; index = 4 } { server = 3; index = 4 })
+
+let () =
+  Alcotest.run "db"
+    [
+      ( "ops",
+        [
+          Alcotest.test_case "set/get" `Quick test_set_get;
+          Alcotest.test_case "add/remove" `Quick test_add_remove;
+          Alcotest.test_case "set-if-newer" `Quick test_set_if_newer;
+          QCheck_alcotest.to_alcotest prop_commutative_ops_converge;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "snapshot/restore" `Quick test_snapshot_restore;
+          Alcotest.test_case "digest" `Quick test_digest_equality;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "transfer procedure" `Quick test_procedure_transfer;
+          Alcotest.test_case "interactive abort" `Quick test_interactive_abort;
+          Alcotest.test_case "query" `Quick test_executor_query;
+          Alcotest.test_case "read-write" `Quick test_read_write_action;
+          QCheck_alcotest.to_alcotest prop_executor_deterministic;
+        ] );
+      ( "actions",
+        [ Alcotest.test_case "id ordering" `Quick test_action_id_order ] );
+      ( "more",
+        [
+          Alcotest.test_case "cas procedure" `Quick test_procedure_cas;
+          Alcotest.test_case "snapshot size" `Quick test_snapshot_size_grows;
+          Alcotest.test_case "bindings sorted" `Quick test_bindings_sorted;
+          QCheck_alcotest.to_alcotest prop_value_compare_total_order;
+        ] );
+    ]

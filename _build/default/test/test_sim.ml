@@ -1,0 +1,293 @@
+(* Unit and property tests for the simulation kernel. *)
+
+open Repro_sim
+
+let test_time_conversions () =
+  Alcotest.(check int) "ms to us" 1_500 (Time.to_us (Time.of_ms 1.5));
+  Alcotest.(check int) "sec to us" 2_000_000 (Time.to_us (Time.of_sec 2.));
+  Alcotest.(check (float 1e-9)) "roundtrip" 0.25 (Time.to_sec (Time.of_sec 0.25));
+  Alcotest.(check int) "add" 30 (Time.to_us (Time.add (Time.of_us 10) ~span:(Time.of_us 20)));
+  Alcotest.(check int) "diff" 5 (Time.to_us (Time.diff (Time.of_us 12) (Time.of_us 7)));
+  Alcotest.check_raises "negative of_us" (Invalid_argument "Time.of_us: negative")
+    (fun () -> ignore (Time.of_us (-1)));
+  Alcotest.check_raises "negative diff" (Invalid_argument "Time.diff: negative result")
+    (fun () -> ignore (Time.diff (Time.of_us 1) (Time.of_us 2)))
+
+let test_time_scale () =
+  Alcotest.(check int) "scale up" 150 (Time.to_us (Time.scale (Time.of_us 100) 1.5));
+  Alcotest.(check int) "scale zero" 0 (Time.to_us (Time.scale (Time.of_us 100) 0.))
+
+let test_rng_determinism () =
+  let a = Rng.of_int 42 and b = Rng.of_int 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independence () =
+  let parent = Rng.of_int 1 in
+  let child = Rng.split parent in
+  (* Drawing from the child must not change the parent's future draws
+     relative to a parent that split but never used the child. *)
+  let parent' = Rng.of_int 1 in
+  let _child' = Rng.split parent' in
+  ignore (Rng.int child 100);
+  Alcotest.(check int) "parent unaffected" (Rng.int parent' 1000) (Rng.int parent 1000)
+
+let test_rng_bounds () =
+  let rng = Rng.of_int 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 7)
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 2.5 in
+    Alcotest.(check bool) "float in range" true (v >= 0. && v < 2.5)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.of_int 9 in
+  let l = List.init 20 Fun.id in
+  let s = Rng.shuffle rng l in
+  Alcotest.(check (list int)) "same multiset" l (List.sort Int.compare s)
+
+let test_heap_ordering () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 5; 1; 9; 3; 7; 2; 8; 0; 4; 6 ];
+  Alcotest.(check (list int)) "sorted drain" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (Heap.to_sorted_list h);
+  Alcotest.(check int) "length preserved" 10 (Heap.length h);
+  Alcotest.(check (option int)) "peek min" (Some 0) (Heap.peek h)
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drains any list sorted" ~count:200
+    QCheck.(list int)
+    (fun l ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) l;
+      Heap.to_sorted_list h = List.sort Int.compare l)
+
+let test_engine_event_order () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  let record tag () = order := tag :: !order in
+  ignore (Engine.schedule engine ~delay:(Time.of_us 30) (record "c"));
+  ignore (Engine.schedule engine ~delay:(Time.of_us 10) (record "a"));
+  ignore (Engine.schedule engine ~delay:(Time.of_us 20) (record "b"));
+  Engine.run engine;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !order);
+  Alcotest.(check int) "clock at last event" 30 (Time.to_us (Engine.now engine))
+
+let test_engine_fifo_tiebreak () =
+  let engine = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore
+      (Engine.schedule engine ~delay:(Time.of_us 10) (fun () ->
+           order := i :: !order))
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "fifo at same time" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_engine_cancel () =
+  let engine = Engine.create () in
+  let fired = ref false in
+  let timer = Engine.schedule engine ~delay:(Time.of_us 10) (fun () -> fired := true) in
+  Engine.cancel timer;
+  Engine.run engine;
+  Alcotest.(check bool) "cancelled timer silent" false !fired;
+  Alcotest.(check bool) "not active" false (Engine.is_active timer)
+
+let test_engine_until () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule engine ~delay:(Time.of_ms 1.) (fun () -> incr fired));
+  ignore (Engine.schedule engine ~delay:(Time.of_ms 5.) (fun () -> incr fired));
+  Engine.run ~until:(Time.of_ms 2.) engine;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  Alcotest.(check int) "clock at limit" 2_000 (Time.to_us (Engine.now engine));
+  Engine.run engine;
+  Alcotest.(check int) "second fires later" 2 !fired
+
+let test_engine_nested_schedule () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule engine ~delay:(Time.of_us 10) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule engine ~delay:(Time.of_us 5) (fun () ->
+                log := "inner" :: !log))));
+  Engine.run engine;
+  Alcotest.(check (list string)) "nested runs" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check int) "clock" 15 (Time.to_us (Engine.now engine))
+
+let test_engine_stop () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  ignore
+    (Engine.schedule engine ~delay:(Time.of_us 1) (fun () ->
+         incr fired;
+         Engine.stop engine));
+  ignore (Engine.schedule engine ~delay:(Time.of_us 2) (fun () -> incr fired));
+  Engine.run engine;
+  Alcotest.(check int) "stopped after first" 1 !fired
+
+let test_resource_serialises () =
+  let engine = Engine.create () in
+  let r = Resource.create engine in
+  let finish = ref [] in
+  Resource.submit r ~duration:(Time.of_us 100) (fun () ->
+      finish := ("a", Time.to_us (Engine.now engine)) :: !finish);
+  Resource.submit r ~duration:(Time.of_us 50) (fun () ->
+      finish := ("b", Time.to_us (Engine.now engine)) :: !finish);
+  Engine.run engine;
+  Alcotest.(check (list (pair string int)))
+    "serial completion times"
+    [ ("a", 100); ("b", 150) ]
+    (List.rev !finish);
+  Alcotest.(check int) "busy time" 150 (Time.to_us (Resource.busy_time r))
+
+let test_resource_reset () =
+  let engine = Engine.create () in
+  let r = Resource.create engine in
+  let fired = ref false in
+  Resource.submit r ~duration:(Time.of_us 100) (fun () -> fired := true);
+  Resource.reset r;
+  Engine.run engine;
+  Alcotest.(check bool) "reset drops jobs" false !fired
+
+let test_summary_stats () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 1.; 2.; 3.; 4.; 5. ];
+  Alcotest.(check (float 1e-9)) "mean" 3. (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 1. (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 5. (Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "median" 3. (Stats.Summary.percentile s 50.);
+  Alcotest.(check (float 1e-6)) "stddev" (sqrt 2.5) (Stats.Summary.stddev s)
+
+let test_timeline_rates () =
+  let tl = Stats.Timeline.create ~bucket:(Time.of_sec 1.) in
+  Stats.Timeline.record tl ~at:(Time.of_ms 100.);
+  Stats.Timeline.record tl ~at:(Time.of_ms 200.);
+  Stats.Timeline.record tl ~at:(Time.of_ms 1500.);
+  (match Stats.Timeline.rates tl with
+  | [ (t0, r0); (t1, r1) ] ->
+    Alcotest.(check (float 1e-9)) "bucket 0 start" 0. t0;
+    Alcotest.(check (float 1e-9)) "bucket 0 rate" 2. r0;
+    Alcotest.(check (float 1e-9)) "bucket 1 start" 1. t1;
+    Alcotest.(check (float 1e-9)) "bucket 1 rate" 1. r1
+  | l -> Alcotest.failf "expected 2 buckets, got %d" (List.length l));
+  ()
+
+let test_trace_roundtrip () =
+  let tr = Trace.create () in
+  Trace.record tr ~at:Time.zero ~node:1 ~tag:"view" "v1";
+  Trace.record tr ~at:(Time.of_us 5) ~node:2 ~tag:"deliver" "m1";
+  Trace.record tr ~at:(Time.of_us 9) ~node:1 ~tag:"view" "v2";
+  Alcotest.(check int) "count by tag" 2 (Trace.count tr ~tag:"view");
+  Alcotest.(check int) "all entries" 3 (List.length (Trace.entries tr));
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.entries tr))
+
+let prop_exponential_mean =
+  QCheck.Test.make ~name:"exponential draws average near the mean" ~count:20
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let rng = Rng.of_int seed in
+      let n = 2000 in
+      let sum = ref 0. in
+      for _ = 1 to n do
+        sum := !sum +. Rng.exponential rng ~mean:5.0
+      done;
+      let avg = !sum /. float_of_int n in
+      avg > 4.0 && avg < 6.0)
+
+let test_trace_capacity_trims () =
+  let tr = Trace.create ~capacity:10 () in
+  for i = 1 to 100 do
+    Trace.record tr ~at:(Time.of_us i) ~node:0 ~tag:"t" (string_of_int i)
+  done;
+  let entries = Trace.entries tr in
+  Alcotest.(check bool) "bounded" true (List.length entries <= 20);
+  (* The newest entries survive. *)
+  let last = List.nth entries (List.length entries - 1) in
+  Alcotest.(check string) "newest kept" "100" last.Trace.detail
+
+let test_summary_percentile_interpolates () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 0.; 10. ];
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 2.5
+    (Stats.Summary.percentile s 25.);
+  Alcotest.(check (float 1e-9)) "p100 is max" 10.
+    (Stats.Summary.percentile s 100.);
+  Alcotest.(check bool) "empty summary yields nan" true
+    (Float.is_nan (Stats.Summary.percentile (Stats.Summary.create ()) 50.))
+
+let prop_engine_executes_all =
+  QCheck.Test.make ~name:"engine executes every scheduled event" ~count:100
+    QCheck.(list (int_bound 10_000))
+    (fun delays ->
+      let engine = Engine.create () in
+      let count = ref 0 in
+      List.iter
+        (fun d ->
+          ignore (Engine.schedule engine ~delay:(Time.of_us d) (fun () -> incr count)))
+        delays;
+      Engine.run engine;
+      !count = List.length delays)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "conversions" `Quick test_time_conversions;
+          Alcotest.test_case "scale" `Quick test_time_scale;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "shuffle is a permutation" `Quick
+            test_rng_shuffle_permutation;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "event order" `Quick test_engine_event_order;
+          Alcotest.test_case "fifo tie-break" `Quick test_engine_fifo_tiebreak;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "stop" `Quick test_engine_stop;
+          QCheck_alcotest.to_alcotest prop_engine_executes_all;
+        ] );
+      ( "distributions",
+        [ QCheck_alcotest.to_alcotest prop_exponential_mean ] );
+      ( "resource",
+        [
+          Alcotest.test_case "serialises jobs" `Quick test_resource_serialises;
+          Alcotest.test_case "reset drops jobs" `Quick test_resource_reset;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_summary_stats;
+          Alcotest.test_case "timeline rates" `Quick test_timeline_rates;
+          Alcotest.test_case "trace" `Quick test_trace_roundtrip;
+          Alcotest.test_case "trace capacity" `Quick test_trace_capacity_trims;
+          Alcotest.test_case "percentile interpolation" `Quick
+            test_summary_percentile_interpolates;
+        ] );
+    ]

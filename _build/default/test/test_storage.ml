@@ -1,0 +1,197 @@
+(* Tests of the simulated stable storage: forced-write latency, group
+   commit, delayed-mode durability loss, crash/recovery of the
+   write-ahead log and the stable cell. *)
+
+open Repro_sim
+open Repro_storage
+
+(* Timing assertions need a metronome disk: no flush jitter. *)
+let forced_nojitter = { Disk.default_forced with sync_jitter = 0. }
+let delayed_nojitter = { Disk.default_delayed with sync_jitter = 0. }
+
+let make ?(config = forced_nojitter) () =
+  let engine = Engine.create () in
+  let disk = Disk.create ~engine ~config () in
+  (engine, disk)
+
+let test_forced_write_latency () =
+  let engine, disk = make () in
+  let done_at = ref Time.zero in
+  Disk.force disk (fun () -> done_at := Engine.now engine);
+  Engine.run engine;
+  (* 10 ms platter write + 10 us group-commit gather window. *)
+  Alcotest.(check int) "10 ms forced write" 10_010 (Time.to_us !done_at)
+
+let test_group_commit_batches () =
+  let engine, disk = make () in
+  let completions = ref [] in
+  (* First force starts a flush; the next ten arrive while it is in
+     flight and must share the *second* flush. *)
+  Disk.force disk (fun () -> completions := ("first", Engine.now engine) :: !completions);
+  ignore
+    (Engine.schedule engine ~delay:(Time.of_ms 1.) (fun () ->
+         for i = 1 to 10 do
+           Disk.force disk (fun () ->
+               completions := (Printf.sprintf "b%d" i, Engine.now engine) :: !completions)
+         done));
+  Engine.run engine;
+  Alcotest.(check int) "two flushes total" 2 (Disk.flushes disk);
+  let batch_times =
+    List.filter_map
+      (fun (tag, t) -> if tag <> "first" then Some (Time.to_us t) else None)
+      !completions
+  in
+  Alcotest.(check int) "ten batched" 10 (List.length batch_times);
+  List.iter
+    (fun t -> Alcotest.(check int) "all at second flush" 20_020 t)
+    batch_times
+
+let test_delayed_ack_fast () =
+  let engine, disk = make ~config:delayed_nojitter () in
+  let done_at = ref Time.zero in
+  Disk.force disk (fun () -> done_at := Engine.now engine);
+  Engine.run ~until:(Time.of_ms 1.) engine;
+  Alcotest.(check int) "50 us delayed ack" 50 (Time.to_us !done_at)
+
+let test_flush_jitter_within_bounds () =
+  let config = { Disk.default_forced with sync_jitter = 0.4 } in
+  let engine = Engine.create ~seed:3 () in
+  let disk = Disk.create ~engine ~config () in
+  (* Sequential flushes: each completion-to-completion gap must stay in
+     [8, 12] ms (±20% of 10 ms) plus the 10 µs gather window. *)
+  let completions = ref [] in
+  let rec loop n =
+    if n > 0 then
+      Disk.force disk (fun () ->
+          completions := Time.to_us (Engine.now engine) :: !completions;
+          loop (n - 1))
+  in
+  loop 30;
+  Engine.run engine;
+  let times = List.rev !completions in
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b - a) :: gaps rest
+    | _ -> []
+  in
+  List.iter
+    (fun gap ->
+      Alcotest.(check bool)
+        (Printf.sprintf "gap %d us within jitter bounds" gap)
+        true
+        (gap >= 8_000 && gap <= 12_100))
+    (gaps times);
+  (* And they are not all identical (jitter is real). *)
+  Alcotest.(check bool) "gaps vary" true
+    (List.sort_uniq Int.compare (gaps times) |> List.length > 5)
+
+let test_wlog_append_recover () =
+  let engine, disk = make () in
+  let log = Wlog.create ~engine ~disk () in
+  Wlog.append log "a";
+  Wlog.append log "b";
+  let synced = ref false in
+  Wlog.sync log (fun () -> synced := true);
+  Engine.run engine;
+  Alcotest.(check bool) "synced" true !synced;
+  Alcotest.(check (list string)) "recover order" [ "a"; "b" ] (Wlog.recover log)
+
+let test_wlog_crash_loses_unsynced () =
+  let engine, disk = make () in
+  let log = Wlog.create ~engine ~disk () in
+  Wlog.append_sync log "durable" ignore;
+  Engine.run engine;
+  Wlog.append log "volatile";
+  Wlog.crash log;
+  Alcotest.(check (list string)) "only durable survives" [ "durable" ] (Wlog.recover log)
+
+let test_wlog_crash_during_flush () =
+  let engine, disk = make () in
+  let log = Wlog.create ~engine ~disk () in
+  let acked = ref false in
+  Wlog.append_sync log "inflight" (fun () -> acked := true);
+  (* Crash at 5 ms: the 10 ms flush never completes. *)
+  ignore (Engine.schedule engine ~delay:(Time.of_ms 5.) (fun () -> Wlog.crash log));
+  Engine.run engine;
+  Alcotest.(check bool) "ack never fired" false !acked;
+  Alcotest.(check (list string)) "entry lost" [] (Wlog.recover log)
+
+let test_wlog_delayed_mode_can_lose_acked () =
+  let engine, disk = make ~config:delayed_nojitter () in
+  let log = Wlog.create ~engine ~disk () in
+  let acked = ref false in
+  Wlog.append_sync log "risky" (fun () -> acked := true);
+  (* Crash after the ack but before the background flush (100 ms). *)
+  ignore (Engine.schedule engine ~delay:(Time.of_ms 10.) (fun () -> Wlog.crash log));
+  Engine.run ~until:(Time.of_ms 20.) engine;
+  Alcotest.(check bool) "acked fast" true !acked;
+  Alcotest.(check (list string)) "acked write lost on crash" [] (Wlog.recover log)
+
+let test_wlog_delayed_mode_survives_after_flush () =
+  let engine, disk = make ~config:delayed_nojitter () in
+  let log = Wlog.create ~engine ~disk () in
+  Wlog.append_sync log "eventually-safe" ignore;
+  (* Let the background flush run (100 ms interval + 10 ms flush). *)
+  ignore (Engine.schedule engine ~delay:(Time.of_ms 300.) (fun () -> Wlog.crash log));
+  Engine.run ~until:(Time.of_ms 400.) engine;
+  Alcotest.(check (list string))
+    "entry survives after background flush" [ "eventually-safe" ]
+    (Wlog.recover log)
+
+let test_stable_cell_roundtrip () =
+  let engine, disk = make () in
+  let cell = Stable_cell.create ~disk ~init:0 in
+  Stable_cell.set_sync cell 42 ignore;
+  Engine.run engine;
+  Stable_cell.crash cell;
+  Alcotest.(check int) "synced value survives" 42 (Stable_cell.get cell)
+
+let test_stable_cell_crash_reverts () =
+  let engine, disk = make () in
+  let cell = Stable_cell.create ~disk ~init:1 in
+  Stable_cell.set_sync cell 2 ignore;
+  Engine.run engine;
+  Stable_cell.set cell 3; (* never synced *)
+  Stable_cell.crash cell;
+  Alcotest.(check int) "reverts to last durable" 2 (Stable_cell.get cell)
+
+let test_shared_disk_group_commit () =
+  (* A wlog and a cell sharing one disk must group-commit together. *)
+  let engine, disk = make () in
+  let log = Wlog.create ~engine ~disk () in
+  let cell = Stable_cell.create ~disk ~init:"x" in
+  let completed = ref 0 in
+  Wlog.append_sync log 1 (fun () -> incr completed);
+  Stable_cell.set_sync cell "y" (fun () -> incr completed);
+  Engine.run engine;
+  Alcotest.(check int) "both complete" 2 !completed;
+  Alcotest.(check int) "single flush" 1 (Disk.flushes disk)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "disk",
+        [
+          Alcotest.test_case "forced write latency" `Quick test_forced_write_latency;
+          Alcotest.test_case "group commit" `Quick test_group_commit_batches;
+          Alcotest.test_case "delayed ack" `Quick test_delayed_ack_fast;
+          Alcotest.test_case "flush jitter bounds" `Quick
+            test_flush_jitter_within_bounds;
+        ] );
+      ( "wlog",
+        [
+          Alcotest.test_case "append and recover" `Quick test_wlog_append_recover;
+          Alcotest.test_case "crash loses unsynced" `Quick test_wlog_crash_loses_unsynced;
+          Alcotest.test_case "crash during flush" `Quick test_wlog_crash_during_flush;
+          Alcotest.test_case "delayed mode loses acked" `Quick
+            test_wlog_delayed_mode_can_lose_acked;
+          Alcotest.test_case "delayed mode survives after flush" `Quick
+            test_wlog_delayed_mode_survives_after_flush;
+        ] );
+      ( "stable-cell",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_stable_cell_roundtrip;
+          Alcotest.test_case "crash reverts" `Quick test_stable_cell_crash_reverts;
+          Alcotest.test_case "shared disk group commit" `Quick
+            test_shared_disk_group_commit;
+        ] );
+    ]
