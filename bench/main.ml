@@ -6,6 +6,7 @@
               dune exec bench/main.exe -- quick   (shorter sweeps)   *)
 
 module Sim = Repro_sim
+module Check = Repro_check
 open Repro_harness
 
 let ppf = Format.std_formatter
@@ -14,6 +15,28 @@ let quick = Array.exists (String.equal "quick") Sys.argv
 
 let duration = Sim.Time.of_sec (if quick then 2. else 6.)
 let clients = if quick then [ 1; 4; 8; 14 ] else [ 1; 2; 4; 6; 8; 10; 12; 14 ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol sanity: run the repcheck invariant monitor over a churn
+   scenario before timing anything — numbers from a broken protocol
+   would be meaningless.                                                *)
+
+let repcheck_sanity () =
+  let w = World.make ~seed:2002 ~n:5 () in
+  let mon = World.attach_monitor w in
+  World.run w ~ms:1000.;
+  for i = 1 to 20 do
+    World.submit_update w ~node:(i mod 5) ~key:(Printf.sprintf "s%d" i) i
+  done;
+  World.run w ~ms:500.;
+  Repro_net.Topology.partition (World.topology w) [ [ 0; 1; 2 ]; [ 3; 4 ] ];
+  World.run w ~ms:1500.;
+  Repro_core.Replica.crash (World.replica w 3);
+  World.heal_and_settle ~ms:5000. w;
+  Check.Monitor.check_now mon;
+  Check.Monitor.assert_ok mon;
+  Format.fprintf ppf "repcheck: %d sweeps over the sanity scenario, clean@."
+    (Check.Monitor.observations mon)
 
 (* ------------------------------------------------------------------ *)
 (* Macro benchmarks: the paper's figures and tables.                   *)
@@ -157,6 +180,35 @@ let microbenchmarks () =
              ignore (Repro_core.Quorum.has_majority ~prev half)
            done))
   in
+  let test_repcheck =
+    let greens =
+      List.init 200 (fun i ->
+          { Repro_db.Action.Id.server = i mod 5; index = (i / 5) + 1 })
+    in
+    let snap node =
+      {
+        Check.Snapshot.ns_node = node;
+        ns_incarnation = 0;
+        ns_state = Repro_core.Types.Reg_prim;
+        ns_green_floor = 0;
+        ns_green_ids = greens;
+        ns_green_count = 200;
+        ns_green_line = None;
+        ns_red_ids = [];
+        ns_yellow = Repro_core.Types.invalid_yellow;
+        ns_red_cut = Repro_net.Node_id.Map.empty;
+        ns_white_line = 0;
+        ns_prim =
+          Repro_core.Types.initial_prim
+            ~servers:(Repro_net.Node_id.set_of_list (List.init 10 Fun.id));
+        ns_vulnerable = Repro_core.Types.invalid_vulnerable;
+        ns_in_primary = false;
+      }
+    in
+    let snaps = List.init 10 snap in
+    Test.make ~name:"check: invariant sweep (10 replicas x 200 greens)"
+      (Staged.stage (fun () -> ignore (Check.Snapshot.check_observation snaps)))
+  in
   let test_sim_round =
     Test.make ~name:"sim: engine 1000 events"
       (Staged.stage (fun () ->
@@ -167,7 +219,15 @@ let microbenchmarks () =
            Sim.Engine.run e))
   in
   let tests =
-    [ test_heap; test_rng; test_db; test_queue; test_quorum; test_sim_round ]
+    [
+      test_heap;
+      test_rng;
+      test_db;
+      test_queue;
+      test_quorum;
+      test_repcheck;
+      test_sim_round;
+    ]
   in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
@@ -194,6 +254,7 @@ let () =
   Format.fprintf ppf
     "Reproduction benchmarks: From Total Order to Database Replication@.\
      (Amir & Tutu, ICDCS 2002) — simulated substrate, virtual time.@.";
+  repcheck_sanity ();
   figure_5a ();
   figure_5b ();
   latency_table ();

@@ -1,0 +1,244 @@
+(* repcheck lint: project-specific static checks over the typed AST.
+
+   Reads the .cmt files dune produced for the libraries under the given
+   roots (default: lib) and enforces three rules that reviews kept
+   re-litigating:
+
+   1. no-poly-id-compare — polymorphic [=] / [<>] / [compare] (and the
+      other Stdlib comparison operators) must not be applied to the
+      abstract identifier types [Node_id.t], [Action.Id.t], [Conf_id.t].
+      Identifier representations are an implementation detail; use the
+      dedicated [equal] / [compare] of the owning module.
+
+   2. no-engine-state-wildcard — [match] on [Types.engine_state] must
+      enumerate its constructors.  A [_ ->] branch silently absorbs any
+      state later added to the protocol state machine; the compiler's
+      exhaustiveness check is the safety net and a wildcard disables it.
+
+   3. no-failwith-in-core — [failwith] and [assert false] are forbidden
+      inside lib/core: the replication engine must degrade through its
+      protocol states, not abort.  Deliberate exceptions are allowed by
+      tagging the line (or the line above) with [(* repcheck: allow *)].
+
+   Runs from the build context root (dune executes it in _build/default),
+   so both the .cmt files and the copied sources are reachable by the
+   relative paths recorded in the cmt. *)
+
+let allow_tag = "repcheck: allow"
+
+let id_type_suffixes =
+  [ "Node_id.t"; "Action.Id.t"; "Conf_id.t"; "Id.t" ]
+
+let poly_compare_names =
+  [ "="; "<>"; "=="; "!="; "compare"; "<"; ">"; "<="; ">=" ]
+
+let violations : (Location.t * string) list ref = ref []
+
+let report loc fmt =
+  Format.kasprintf
+    (fun msg ->
+      (* one application can trip on both arguments: report it once *)
+      if not (List.mem (loc, msg) !violations) then
+        violations := (loc, msg) :: !violations)
+    fmt
+
+(* --- source-line suppression --------------------------------------- *)
+
+let source_lines : (string, string array) Hashtbl.t = Hashtbl.create 8
+
+let lines_of_file fname =
+  match Hashtbl.find_opt source_lines fname with
+  | Some l -> l
+  | None ->
+    let l =
+      try
+        let ic = open_in fname in
+        let acc = ref [] in
+        (try
+           while true do
+             acc := input_line ic :: !acc
+           done
+         with End_of_file -> close_in ic);
+        Array.of_list (List.rev !acc)
+      with Sys_error _ -> [||]
+    in
+    Hashtbl.replace source_lines fname l;
+    l
+
+let allowed loc =
+  let fname = loc.Location.loc_start.Lexing.pos_fname in
+  let line = loc.Location.loc_start.Lexing.pos_lnum in
+  let lines = lines_of_file fname in
+  let has n =
+    n >= 1 && n <= Array.length lines
+    &&
+    let s = lines.(n - 1) in
+    let tag_len = String.length allow_tag and len = String.length s in
+    let rec scan i =
+      i + tag_len <= len && (String.sub s i tag_len = allow_tag || scan (i + 1))
+    in
+    scan 0
+  in
+  has line || has (line - 1)
+
+(* --- type and path predicates -------------------------------------- *)
+
+let rec path_name p =
+  match p with
+  | Path.Pident id -> Ident.name id
+  | Path.Pdot (p, s) -> path_name p ^ "." ^ s
+  | Path.Papply (a, b) -> path_name a ^ "(" ^ path_name b ^ ")"
+  | Path.Pextra_ty (p, _) -> path_name p
+
+(* Strip the dune mangling: "Repro_net__Node_id.t" -> "Node_id.t". *)
+let demangle name =
+  let strip part =
+    let len = String.length part in
+    let rec find i =
+      if i + 1 >= len then None
+      else if part.[i] = '_' && part.[i + 1] = '_' then
+        Some (String.sub part (i + 2) (len - i - 2))
+      else find (i + 1)
+    in
+    match find 0 with Some tail when tail <> "" -> tail | _ -> part
+  in
+  String.concat "." (List.map strip (String.split_on_char '.' name))
+
+let is_id_type ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) ->
+    let name = demangle (path_name p) in
+    List.exists
+      (fun suffix ->
+        name = suffix
+        || (String.length name > String.length suffix
+           && String.sub name
+                (String.length name - String.length suffix - 1)
+                (String.length suffix + 1)
+              = "." ^ suffix))
+      id_type_suffixes
+  | _ -> false
+
+let is_engine_state ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) ->
+    let name = demangle (path_name p) in
+    name = "engine_state" || Filename.check_suffix name ".engine_state"
+  | _ -> false
+
+let stdlib_ident p names =
+  match p with
+  | Path.Pdot (Path.Pident m, s) -> Ident.name m = "Stdlib" && List.mem s names
+  | _ -> false
+
+(* --- the iterator --------------------------------------------------- *)
+
+let in_core = ref false
+
+let check_expr (it : Tast_iterator.iterator) (e : Typedtree.expression) =
+  (match e.exp_desc with
+  | Typedtree.Texp_apply
+      ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, args)
+    when stdlib_ident p poly_compare_names ->
+    let op =
+      match p with Path.Pdot (_, s) -> s | _ -> assert false
+    in
+    List.iter
+      (function
+        | _, Some (arg : Typedtree.expression) when is_id_type arg.exp_type ->
+          if not (allowed e.exp_loc) then
+            report e.exp_loc
+              "no-poly-id-compare: polymorphic (%s) applied to abstract id \
+               type %s; use the module's equal/compare"
+              op
+              (match Types.get_desc arg.exp_type with
+              | Types.Tconstr (p, _, _) -> demangle (path_name p)
+              | _ -> "?")
+        | _ -> ())
+      args
+  | Typedtree.Texp_match (scrut, cases, _) when is_engine_state scrut.exp_type
+    ->
+    List.iter
+      (fun (c : Typedtree.computation Typedtree.case) ->
+        let is_wild =
+          match c.Typedtree.c_lhs.Typedtree.pat_desc with
+          | Typedtree.Tpat_value arg -> (
+            match
+              (arg :> Typedtree.value Typedtree.general_pattern)
+                .Typedtree.pat_desc
+            with
+            | Typedtree.Tpat_any -> true
+            | _ -> false)
+          | _ -> false
+        in
+        if is_wild && not (allowed c.Typedtree.c_lhs.Typedtree.pat_loc) then
+          report c.Typedtree.c_lhs.Typedtree.pat_loc
+            "no-engine-state-wildcard: match on engine_state uses a _ branch; \
+             enumerate the states so new ones fail exhaustiveness")
+      cases
+  | Typedtree.Texp_apply ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, _)
+    when !in_core
+         && stdlib_ident p [ "failwith" ]
+         && not (allowed e.exp_loc) ->
+    report e.exp_loc
+      "no-failwith-in-core: lib/core must not abort; return through the \
+       protocol state machine or tag the line with (* %s *)"
+      allow_tag
+  | Typedtree.Texp_assert
+      ({ exp_desc = Typedtree.Texp_construct (_, { cstr_name = "false"; _ }, _); _ }, loc)
+    when !in_core && not (allowed loc) ->
+    report loc
+      "no-failwith-in-core: assert false in lib/core; handle the case or tag \
+       the line with (* %s *)"
+      allow_tag
+  | _ -> ());
+  Tast_iterator.default_iterator.expr it e
+
+let iterator = { Tast_iterator.default_iterator with expr = check_expr }
+
+(* --- cmt walking ----------------------------------------------------- *)
+
+let rec find_cmts dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then find_cmts path @ acc
+        else if Filename.check_suffix entry ".cmt" then path :: acc
+        else acc)
+      [] entries
+
+let lint_cmt path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> ()
+  | infos -> (
+    match (infos.Cmt_format.cmt_annots, infos.Cmt_format.cmt_sourcefile) with
+    | Cmt_format.Implementation tstr, Some src ->
+      in_core :=
+        String.length src >= 9 && String.sub src 0 9 = "lib/core/";
+      iterator.Tast_iterator.structure iterator tstr
+    | _ -> ())
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib" ] | _ :: r -> r
+  in
+  let cmts = List.concat_map find_cmts roots in
+  if cmts = [] then begin
+    Printf.eprintf "lint: no .cmt files under %s (build the libraries first)\n"
+      (String.concat " " roots);
+    exit 2
+  end;
+  List.iter lint_cmt (List.sort compare cmts);
+  match List.rev !violations with
+  | [] ->
+    Printf.printf "lint: %d compilation units clean\n" (List.length cmts)
+  | vs ->
+    List.iter
+      (fun (loc, msg) ->
+        Format.eprintf "%a@.Error: %s@.@." Location.print_loc loc msg)
+      vs;
+    Printf.eprintf "lint: %d violation(s)\n" (List.length vs);
+    exit 1

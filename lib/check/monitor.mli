@@ -1,0 +1,79 @@
+open Repro_core
+
+(** The online protocol invariant monitor ("repcheck").
+
+    Attach one monitor to a scenario's replicas and it evaluates the
+    invariant catalogue of {!Snapshot} for the whole run:
+
+    - {b event-driven}: every engine emits an audit feed
+      ({!Engine.audit_event}); quorum decisions are re-checked against
+      the declared policy and the vulnerable-exclusion rule the moment
+      they are made, and primary installs are checked against a global
+      registry (at most one component per [prim_index] — the paper's §4
+      exclusivity argument);
+    - {b sweeps}: after every state transition the monitor schedules a
+      zero-delay simulation event and, once the triggering event has
+      settled, snapshots all ready replicas and runs the instantaneous
+      catalogue (total order, FIFO, primary exclusivity, coherence)
+      plus the per-node step catalogue (color monotonicity) against the
+      previous sweep.
+
+    The monitor is purely observational: it sends no messages and
+    mutates no replica, and its zero-delay events do not reorder the
+    scenario's own same-time events (the simulator is FIFO within a
+    time point), so a monitored run behaves identically to an
+    unmonitored one. *)
+
+type t
+
+type record = {
+  r_at : Repro_sim.Time.t;
+  r_violation : Snapshot.violation;
+  r_window : Repro_sim.Trace.entry list;
+      (** the most recent trace entries at the time of the violation,
+          oldest first — the context a report pretty-prints *)
+}
+
+val create :
+  ?window:int ->
+  ?policy:Quorum.policy option ->
+  ?weights:Quorum.weights ->
+  ?trace_capacity:int ->
+  sim:Repro_sim.Engine.t ->
+  replicas:(unit -> Replica.t list) ->
+  unit ->
+  t
+(** [create ~sim ~replicas ()] attaches to every replica currently
+    returned by [replicas] and re-scans for newcomers (joiners) at each
+    sweep.  [window] (default 40) is how many trace entries each
+    violation record captures.  [policy] (default
+    [Some Quorum.Dynamic_linear]) enables the quorum-decision and
+    primary-lineage cross-checks; pass [None] when the scenario runs a
+    different policy.  [weights] must match the scenario's voting
+    weights. *)
+
+val check_now : t -> unit
+(** Forces a sweep immediately (use at quiescence, after [Sim.Engine.run]
+    returns — there is no further event for the monitor to piggyback
+    on). *)
+
+val ok : t -> bool
+val violations : t -> Snapshot.violation list
+val records : t -> record list
+(** Oldest first. *)
+
+val observations : t -> int
+(** Number of sweeps performed (for "the monitor actually ran"
+    assertions). *)
+
+val trace : t -> Repro_sim.Trace.t
+(** The monitor's own trace: audit events ([state], [quorum],
+    [install]) and [violation] entries. *)
+
+val report : t -> Format.formatter -> unit
+(** Pretty-prints every violation with its trace window, or a one-line
+    all-clear. *)
+
+val assert_ok : t -> unit
+(** Raises [Failure] with the rendered {!report} if any violation was
+    recorded. *)

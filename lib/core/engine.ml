@@ -32,6 +32,22 @@ type stats = {
   mutable s_actions_resent : int;
 }
 
+(* Audit events: a structured feed of the engine's protocol-level
+   decisions, consumed by the repcheck invariant monitor (lib/check).
+   Unlike [callbacks], which drive the application, the audit feed is
+   observational only — emitting it must never change behaviour. *)
+type audit_event =
+  | Audit_state of engine_state  (** state-machine transition *)
+  | Audit_quorum of {
+      aq_members : Node_id.Set.t;  (** candidate set (the view) *)
+      aq_vulnerable : Node_id.Set.t;
+          (** members whose knowledge-computed vulnerable record is
+              still valid at decision time *)
+      aq_prev_prim : prim_component;  (** quorum is taken against this *)
+      aq_granted : bool;
+    }  (** an [IsQuorum] evaluation at the end of a state exchange *)
+  | Audit_install of prim_component  (** a primary component installed *)
+
 type t = {
   sim : Sim.Engine.t;
   node : Node_id.t;
@@ -65,7 +81,11 @@ type t = {
   mutable pending_cpcs : (Node_id.t * Conf_id.t * bool) list;
   mutable buffered : buffered_request list; (* newest first *)
   mutable era : int; (* bumped on every view event; guards sync continuations *)
+  mutable audit : (audit_event -> unit) option;
 }
+
+let set_audit t f = t.audit <- Some f
+let emit_audit t ev = match t.audit with Some f -> f ev | None -> ()
 
 let node t = t.node
 let state t = t.state
@@ -79,6 +99,10 @@ let red_cut t s = match Hashtbl.find_opt t.red_cut s with Some c -> c | None -> 
 let green_cut_map t =
   Hashtbl.fold (fun s c acc -> Node_id.Map.add s c acc) t.green_cut
     Node_id.Map.empty
+
+let red_cut_map t =
+  Hashtbl.fold (fun s c acc -> Node_id.Map.add s c acc) t.red_cut
+    Node_id.Map.empty
 let known_servers t = t.known_servers
 let prim_component t = t.prim
 let vulnerable t = t.vulnerable
@@ -86,7 +110,11 @@ let yellow t = t.yellow
 
 let in_primary t =
   (not t.halted)
-  && match t.state with Reg_prim | Trans_prim -> true | _ -> false
+  &&
+  match t.state with
+  | Reg_prim | Trans_prim -> true
+  | Exchange_states | Exchange_actions | Construct | No_state | Un_state
+  | Non_prim -> false
 
 let white_line t =
   Node_id.Set.fold
@@ -100,7 +128,8 @@ let set_state t s =
     Log.debug (fun m ->
         m "n%d: %a -> %a" t.node pp_engine_state t.state pp_engine_state s);
     t.state <- s;
-    t.cb.on_state_change s
+    t.cb.on_state_change s;
+    emit_audit t (Audit_state s)
   end
 
 let meta_of t =
@@ -205,7 +234,8 @@ let mark_green t (a : Action.t) =
         t.cb.on_self_leave ()
       end
     | Action.Leave _ -> ()
-    | _ -> ());
+    | Action.Query _ | Action.Update _ | Action.Read_write _
+    | Action.Active _ | Action.Interactive _ -> ());
     t.cb.on_green a
   end
 
@@ -241,6 +271,7 @@ let install t =
       prim_servers = t.vulnerable.v_set;
     };
   t.attempt <- 0;
+  emit_audit t (Audit_install t.prim);
   let reds =
     List.sort
       (fun a b -> Action.Id.compare a.Action.id b.Action.id)
@@ -428,7 +459,8 @@ and check_all_states t =
                 with
                 | Some a when not (Action_queue.is_green t.queue a.Action.id) ->
                   Some a
-                | _ -> None (* green bodies travel via the green plan *))
+                | Some _ | None -> None
+                  (* green bodies travel via the green plan *))
               (List.init (high - low) (fun i -> low + 1 + i)))
           duties
       in
@@ -455,7 +487,7 @@ and check_end_of_retrans t =
              ~red_cut:(red_cut t) knowledge ->
       t.exchange_done <- true;
       end_of_retrans t knowledge
-    | _ -> ()
+    | Some _ | None -> ()
 
 and end_of_retrans t knowledge =
   match t.conf with
@@ -481,7 +513,24 @@ and end_of_retrans t knowledge =
     (match Node_id.Map.find_opt t.node knowledge.Knowledge.k_vulnerable with
     | Some v -> t.vulnerable <- v
     | None -> ());
-    if is_quorum t knowledge view.Endpoint.members then begin
+    let granted = is_quorum t knowledge view.Endpoint.members in
+    emit_audit t
+      (Audit_quorum
+         {
+           aq_members = view.Endpoint.members;
+           aq_vulnerable =
+             Node_id.Set.filter
+               (fun m ->
+                 match
+                   Node_id.Map.find_opt m knowledge.Knowledge.k_vulnerable
+                 with
+                 | Some v -> v.v_valid
+                 | None -> false)
+               view.Endpoint.members;
+           aq_prev_prim = knowledge.Knowledge.k_prim;
+           aq_granted = granted;
+         });
+    if granted then begin
       t.attempt <- t.attempt + 1;
       t.vulnerable <-
         {
@@ -551,7 +600,7 @@ and on_cpc t server conf_id ~in_regular =
          to this configuration and is replayed on entering Construct. *)
       t.pending_cpcs <- (server, conf_id, in_regular) :: t.pending_cpcs
     | Exchange_states | Reg_prim | Trans_prim | Un_state | Non_prim -> ())
-  | _ -> ()
+  | Some _ | None -> () (* a CPC of a configuration we already left *)
 
 and replay_pending_cpcs t =
   let pending = List.rev t.pending_cpcs in
@@ -605,11 +654,15 @@ let on_retrans_red t a =
   check_end_of_retrans t
 
 let on_state_msg t sm =
-  match (t.state, t.conf) with
-  | Exchange_states, Some view when Conf_id.equal view.Endpoint.id sm.sm_conf ->
-    t.states <- Node_id.Map.add sm.sm_server sm t.states;
-    check_all_states t
-  | _ -> ()
+  match t.state with
+  | Exchange_states -> (
+    match t.conf with
+    | Some view when Conf_id.equal view.Endpoint.id sm.sm_conf ->
+      t.states <- Node_id.Map.add sm.sm_server sm t.states;
+      check_all_states t
+    | Some _ | None -> ())
+  | Reg_prim | Trans_prim | Exchange_actions | Construct | No_state | Un_state
+  | Non_prim -> ()
 
 let on_trans_conf t =
   t.era <- t.era + 1;
@@ -691,6 +744,7 @@ let make_blank ?(weights = Quorum.no_weights)
     pending_cpcs = [];
     buffered = [];
     era = 0;
+    audit = None;
   }
 
 let create ?weights ?quorum_policy ~sim ~node ~servers ~persist ~callbacks () =

@@ -40,6 +40,26 @@ type stats = {
   mutable s_actions_resent : int;  (** ongoing actions re-multicast *)
 }
 
+(** A structured feed of protocol-level decisions, consumed by the
+    repcheck invariant monitor ([Repro_check]).  Purely observational:
+    whether a sink is attached never changes engine behaviour. *)
+type audit_event =
+  | Audit_state of Types.engine_state  (** state-machine transition *)
+  | Audit_quorum of {
+      aq_members : Node_id.Set.t;  (** candidate set (the view) *)
+      aq_vulnerable : Node_id.Set.t;
+          (** members whose knowledge-computed vulnerable record is
+              still valid at decision time (paper §5, [IsQuorum]) *)
+      aq_prev_prim : Types.prim_component;
+          (** the last installed primary the quorum is taken against *)
+      aq_granted : bool;
+    }  (** an [IsQuorum] evaluation at the end of a state exchange *)
+  | Audit_install of Types.prim_component
+      (** a primary component was installed at this server *)
+
+val set_audit : t -> (audit_event -> unit) -> unit
+(** Attaches (or replaces) the audit sink. *)
+
 val create :
   ?weights:Quorum.weights ->
   ?quorum_policy:Quorum.policy ->
@@ -127,6 +147,10 @@ val red_cut : t -> Node_id.t -> int
 val green_cut_map : t -> int Node_id.Map.t
 (** Per creator, the index of its last action inside the green prefix —
     the red cut a snapshot-instantiated replica starts from. *)
+
+val red_cut_map : t -> int Node_id.Map.t
+(** The whole red cut, per creator (observability; the repcheck monitor
+    asserts its per-creator monotonicity). *)
 
 val known_servers : t -> Node_id.Set.t
 val prim_component : t -> Types.prim_component

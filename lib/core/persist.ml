@@ -66,7 +66,10 @@ let recover ~self t =
       match entry with
       | E_ongoing a ->
         ongoing_rev := a :: !ongoing_rev;
-        if a.Action.id.server = self && a.Action.id.index > !action_index then
+        if
+          Node_id.equal a.Action.id.server self
+          && a.Action.id.index > !action_index
+        then
           action_index := a.Action.id.index
       | E_red a ->
         Hashtbl.replace bodies (key a.Action.id) a;

@@ -91,6 +91,11 @@ type t = {
   mutable greens_applied : int;
   mutable actions_submitted : int;
   mutable left : bool;
+  mutable audit : (Engine.audit_event -> unit) option;
+      (* re-attached to every engine this replica creates *)
+  mutable incarnation : int;
+      (* bumped on crash: volatile state was lost, so observers must not
+         hold this replica to monotonicity across the boundary *)
 }
 
 let node t = t.node_id
@@ -107,6 +112,7 @@ let state t =
 let in_primary t = match t.engine with Some e -> Engine.in_primary e | None -> false
 let is_ready t = t.engine <> None && t.up && not t.left
 let is_up t = t.up
+let incarnation t = t.incarnation
 let greens_applied t = t.greens_applied
 let log_entries t = Persist.entries_logged t.persist
 let transfer_chunks_sent t = t.transfer_chunks_sent
@@ -114,6 +120,16 @@ let actions_submitted t = t.actions_submitted
 
 (* ------------------------------------------------------------------ *)
 (* Engine callbacks                                                    *)
+
+(* Install a freshly created engine, re-attaching the audit sink (the
+   repcheck monitor survives crash/recovery and joiner instantiation). *)
+let adopt_engine t e =
+  (match t.audit with Some f -> Engine.set_audit e f | None -> ());
+  t.engine <- Some e
+
+let set_audit t f =
+  t.audit <- Some f;
+  match t.engine with Some e -> Engine.set_audit e f | None -> ()
 
 let checkpoint_now t =
   match t.engine with
@@ -277,18 +293,13 @@ let on_transfer_msg t ~src msg =
           do_transfer ~from_chunk t ~joiner:tr_joiner
         end
         else begin
-          (* Announce the newcomer (lines 17-19); transfer when green. *)
+          (* Announce the newcomer (lines 17-19); transfer when green.
+             The engine submits immediately in [Reg_prim]/[Non_prim] and
+             buffers the request itself in every other state. *)
           Hashtbl.replace t.transfer_sessions tr_joiner ();
-          match Engine.state e with
-          | Types.Reg_prim | Types.Non_prim ->
-            Engine.submit e ~kind:(Action.Join tr_joiner)
-              ~on_created:(fun _ -> ())
-              ()
-          | _ ->
-            (* Buffered submission also works: the engine queues it. *)
-            Engine.submit e ~kind:(Action.Join tr_joiner)
-              ~on_created:(fun _ -> ())
-              ()
+          Engine.submit e ~kind:(Action.Join tr_joiner)
+            ~on_created:(fun _ -> ())
+            ()
         end)
     | Tchunk { tc_version; tc_index; tc_total; tc_payload } ->
       if t.engine = None && t.joiner_waiting then begin
@@ -315,7 +326,7 @@ let on_transfer_msg t ~src msg =
                 ~prim:p.td_prim ~persist:t.persist
                 ~callbacks:(make_callbacks t) ()
             in
-            t.engine <- Some e;
+            adopt_engine t e;
             let ep =
               match t.endpoint with Some ep -> ep | None -> make_endpoint t
             in
@@ -370,6 +381,8 @@ let base ?(disk_config = Disk.default_forced) ?(attach_cpu = true)
       greens_applied = 0;
       actions_submitted = 0;
       left = false;
+      audit = None;
+      incarnation = 0;
     }
   in
   Network.register cluster.c_transfer node ~handler:(fun ~src msg ->
@@ -388,7 +401,7 @@ let create ?disk_config ?attach_cpu ?checkpoint_every ?weights ?quorum_policy
       ~sim:cluster.c_sim ~node ~servers ~persist:t.persist
       ~callbacks:(make_callbacks t) ()
   in
-  t.engine <- Some e;
+  adopt_engine t e;
   ignore (make_endpoint t);
   t
 
@@ -479,6 +492,7 @@ let crash t =
   if t.up then begin
     Log.info (fun m -> m "n%d: crash" t.node_id);
     t.up <- false;
+    t.incarnation <- t.incarnation + 1;
     (match t.endpoint with Some ep -> Endpoint.crash ep | None -> ());
     Network.set_up t.cluster.c_transfer t.node_id false;
     Persist.crash t.persist;
@@ -508,7 +522,7 @@ let recover t =
       | None -> Database.create ());
     List.iter (fun a -> ignore (Executor.execute t.db a)) greens;
     t.greens_applied <- t.greens_applied + List.length greens;
-    t.engine <- Some e;
+    adopt_engine t e;
     match t.endpoint with
     | Some ep -> Endpoint.recover ep
     | None -> ()

@@ -123,6 +123,15 @@ val recover : t -> unit
 
 val is_up : t -> bool
 
+val incarnation : t -> int
+(** Bumped on every crash.  Observers (the repcheck monitor) compare
+    incarnations to know when volatile state was legitimately lost and
+    monotonicity baselines must reset. *)
+
+val set_audit : t -> (Engine.audit_event -> unit) -> unit
+(** Attaches an engine audit sink, re-attached automatically across
+    crash/recovery and joiner instantiation. *)
+
 (* --- Statistics ----------------------------------------------------- *)
 
 val greens_applied : t -> int

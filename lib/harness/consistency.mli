@@ -15,7 +15,11 @@ val pp_violation : Format.formatter -> violation -> unit
 
 val check_global_total_order : Replica.t list -> violation list
 (** Theorem 1: if two replicas both performed their i-th action, the
-    actions are identical — green prefixes must be pairwise consistent. *)
+    actions are identical — green prefixes must be pairwise consistent.
+    Checked in O(n) sequence comparisons against the longest green
+    sequence as the common reference (prefix agreement is transitive);
+    pairwise comparison only remains for the segment below the
+    reference's floor, among the replicas still holding it. *)
 
 val check_global_fifo : Replica.t list -> violation list
 (** Theorem 2: a replica that performed action [a] of server [s] already

@@ -10,6 +10,7 @@ type t = {
   mutable w_nodes : Node_id.t list;
   w_disk_config : Disk.config;
   w_attach_cpu : bool;
+  w_quorum_policy : Quorum.policy;
 }
 
 let default_net =
@@ -44,6 +45,8 @@ let make ?(net_config = default_net) ?(params = Repro_gcs.Params.fast)
     w_nodes = nodes;
     w_disk_config = disk_config;
     w_attach_cpu = attach_cpu;
+    w_quorum_policy =
+      Option.value quorum_policy ~default:Quorum.Dynamic_linear;
   }
 
 let sim t = Replica.cluster_sim t.w_cluster
@@ -79,6 +82,12 @@ let submit_update t ~node ~key v =
     Replica.submit r
       (Action.Update [ Op.Set (key, Value.Int v) ])
       ~on_response:(fun _ -> ())
+
+let attach_monitor ?window t =
+  Repro_check.Monitor.create ?window ~policy:(Some t.w_quorum_policy)
+    ~sim:(sim t)
+    ~replicas:(fun () -> replicas t)
+    ()
 
 let heal_and_settle ?(ms = 5_000.) t =
   Topology.merge_all (topology t);

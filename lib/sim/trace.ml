@@ -1,28 +1,48 @@
 type entry = { at : Time.t; node : int; tag : string; detail : string }
 
+(* A fixed-capacity ring buffer: [record] is O(1) with no allocation
+   beyond the entry itself, so tracing can stay on in long benchmark
+   runs.  [entries]/[find_all]/[count] rebuild lists and are meant for
+   test-time assertions, not the hot path. *)
 type t = {
   capacity : int;
-  mutable entries : entry list; (* newest first *)
-  mutable length : int;
+  mutable ring : entry option array;
+  mutable next : int; (* slot the next entry goes into *)
+  mutable length : int; (* live entries, <= capacity *)
 }
 
-let create ?(capacity = 100_000) () = { capacity; entries = []; length = 0 }
+let create ?(capacity = 100_000) () =
+  let capacity = max 1 capacity in
+  { capacity; ring = Array.make capacity None; next = 0; length = 0 }
 
 let record t ~at ~node ~tag detail =
-  t.entries <- { at; node; tag; detail } :: t.entries;
-  t.length <- t.length + 1;
-  if t.length > t.capacity * 2 then begin
-    (* Amortised trim: keep the newest [capacity] entries. *)
-    t.entries <- List.filteri (fun i _ -> i < t.capacity) t.entries;
-    t.length <- t.capacity
-  end
+  t.ring.(t.next) <- Some { at; node; tag; detail };
+  t.next <- (t.next + 1) mod t.capacity;
+  if t.length < t.capacity then t.length <- t.length + 1
 
-let entries t = List.rev t.entries
+let entries t =
+  (* Oldest first: walk the ring from the oldest live slot. *)
+  let start = (t.next - t.length + t.capacity) mod t.capacity in
+  List.init t.length (fun i ->
+      match t.ring.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> invalid_arg "Trace.entries: hole in ring")
+
+let last t n =
+  let n = min n t.length in
+  let start = (t.next - n + t.capacity) mod t.capacity in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> invalid_arg "Trace.last: hole in ring")
+
 let find_all t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
 let count t ~tag = List.length (find_all t ~tag)
+let length t = t.length
 
 let clear t =
-  t.entries <- [];
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
   t.length <- 0
 
 let pp_entry ppf e =

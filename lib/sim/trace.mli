@@ -2,8 +2,9 @@
 
     Primarily a debugging and test-assertion aid: scenarios record what
     happened (view changes, state transitions, deliveries) and tests can
-    assert over the sequence.  Keeps at most [capacity] most recent
-    entries to bound memory in long runs. *)
+    assert over the sequence.  A fixed-capacity ring buffer keeps the
+    most recent [capacity] entries: [record] is O(1), so tracing can
+    stay enabled in long runs without distorting benchmarks. *)
 
 type entry = { at : Time.t; node : int; tag : string; detail : string }
 
@@ -13,10 +14,20 @@ val create : ?capacity:int -> unit -> t
 (** Default capacity 100_000 entries. *)
 
 val record : t -> at:Time.t -> node:int -> tag:string -> string -> unit
+(** O(1); evicts the oldest entry when the ring is full. *)
+
 val entries : t -> entry list
 (** Oldest first. *)
 
+val last : t -> int -> entry list
+(** [last t n] is the most recent [n] entries, oldest first — the
+    "window" around a failure that violation reports print. *)
+
 val find_all : t -> tag:string -> entry list
 val count : t -> tag:string -> int
+
+val length : t -> int
+(** Live entries currently retained. *)
+
 val clear : t -> unit
 val pp_entry : Format.formatter -> entry -> unit

@@ -676,6 +676,144 @@ let test_quorum_policies () =
     (Quorum.policy_quorum Quorum.Static_majority ~prev ~all
        ~vulnerable_present:true all)
 
+let test_quorum_weight_ties () =
+  let set = Node_id.set_of_list in
+  let w l =
+    List.fold_left
+      (fun m (n, x) -> Node_id.Map.add n x m)
+      Quorum.no_weights l
+  in
+  (* Exactly half the weight qualifies only with the tie-breaker — the
+     heaviest member of the previous primary, lowest id among equals. *)
+  let prev = set [ 0; 1; 2 ] in
+  let weights = w [ (0, 2) ] (* total 4: 0 weighs 2, others 1 *) in
+  Alcotest.(check bool) "half without the heavy tie-breaker" false
+    (Quorum.has_majority ~weights ~prev (set [ 1; 2 ]));
+  Alcotest.(check bool) "half with the heavy tie-breaker" true
+    (Quorum.has_majority ~weights ~prev (set [ 0 ]));
+  (* All weights equal: the tie-breaker falls to the lowest id. *)
+  let even = w [ (0, 3); (1, 3); (2, 3); (3, 3) ] in
+  let prev4 = set [ 0; 1; 2; 3 ] in
+  Alcotest.(check bool) "equal-weight tie with node 0" true
+    (Quorum.has_majority ~weights:even ~prev:prev4 (set [ 0; 1 ]));
+  Alcotest.(check bool) "equal-weight tie without node 0" false
+    (Quorum.has_majority ~weights:even ~prev:prev4 (set [ 2; 3 ]));
+  (* A single heavy node can dominate the vote outright. *)
+  let heavy = w [ (0, 5) ] in
+  Alcotest.(check bool) "heavy singleton outweighs the rest" true
+    (Quorum.has_majority ~weights:heavy ~prev (set [ 0 ]));
+  Alcotest.(check bool) "light pair loses to the heavy node" false
+    (Quorum.has_majority ~weights:heavy ~prev (set [ 1; 2 ]))
+
+let test_quorum_empty_prev () =
+  let set = Node_id.set_of_list in
+  let empty = Node_id.Set.empty in
+  (* An empty last-primary membership grants no quorum to anyone: the
+     candidate must wait for knowledge of the real last primary. *)
+  Alcotest.(check bool) "no majority of nothing" false
+    (Quorum.has_majority ~prev:empty (set [ 0; 1; 2 ]));
+  Alcotest.(check bool) "not even the empty set" false
+    (Quorum.has_majority ~prev:empty empty);
+  Alcotest.(check bool) "IsQuorum refuses too" false
+    (Quorum.is_quorum ~prev:empty ~vulnerable_present:false (set [ 0; 1 ]));
+  Alcotest.(check bool) "both policies refuse" false
+    (Quorum.policy_quorum Quorum.Dynamic_linear ~prev:empty ~all:empty
+       ~vulnerable_present:false (set [ 0 ])
+    || Quorum.policy_quorum Quorum.Static_majority ~prev:empty ~all:empty
+         ~vulnerable_present:false (set [ 0 ]))
+
+(* The vulnerable record through ComputeKnowledge (paper A.7 steps 3-4):
+   when is a proposed member still an obstacle to a quorum? *)
+let test_knowledge_vulnerable_invalidation () =
+  let set = Node_id.set_of_list in
+  let members = set [ 0; 1; 2 ] in
+  let vuln ~bits ~vset ~attempt =
+    {
+      Types.v_valid = true;
+      v_prim_index = 0;
+      v_attempt = attempt;
+      v_set = set vset;
+      v_bits = set bits;
+    }
+  in
+  let states l =
+    List.fold_left
+      (fun m (n, sm) -> Node_id.Map.add n sm m)
+      Node_id.Map.empty l
+  in
+  let base n = mk_state ~server:n ~green:0 ~floor:0 ~cuts:[] in
+  let with_vuln n v = { (base n) with Types.sm_vulnerable = v } in
+  let valid_members k =
+    Node_id.Map.fold
+      (fun n v acc -> if v.Types.v_valid then n :: acc else acc)
+      k.Knowledge.k_vulnerable []
+    |> List.rev
+  in
+  (* Step 4: the union of safe-delivery bits covers the whole attempt
+     set — the outcome is durably known, vulnerability clears. *)
+  let k =
+    Knowledge.compute ~members
+      (states
+         [
+           (0, with_vuln 0 (vuln ~bits:[ 0 ] ~vset:[ 0; 1; 2 ] ~attempt:1));
+           (1, with_vuln 1 (vuln ~bits:[ 1 ] ~vset:[ 0; 1; 2 ] ~attempt:1));
+           (2, with_vuln 2 (vuln ~bits:[ 2 ] ~vset:[ 0; 1; 2 ] ~attempt:1));
+         ])
+  in
+  Alcotest.(check (list int)) "united bits clear every record" []
+    (valid_members k);
+  (* Bits short of the set: the proposed members stay vulnerable, and a
+     component containing them must be refused. *)
+  let k =
+    Knowledge.compute ~members
+      (states
+         [
+           (0, with_vuln 0 (vuln ~bits:[ 0 ] ~vset:[ 0; 1; 9 ] ~attempt:1));
+           (1, with_vuln 1 (vuln ~bits:[ 1 ] ~vset:[ 0; 1; 9 ] ~attempt:1));
+           (2, base 2);
+         ])
+  in
+  Alcotest.(check (list int)) "absent participant keeps them vulnerable"
+    [ 0; 1 ] (valid_members k);
+  Alcotest.(check bool) "no quorum over a vulnerable member" false
+    (Quorum.is_quorum ~prev:members ~vulnerable_present:true members);
+  (* Step 3, contradiction: a member of the attempt set reports a
+     different (or no) attempt — the attempt cannot have installed
+     anywhere, the record clears. *)
+  let k =
+    Knowledge.compute ~members
+      (states
+         [
+           (0, with_vuln 0 (vuln ~bits:[] ~vset:[ 0; 2 ] ~attempt:1));
+           (1, base 1);
+           (2, base 2);
+         ])
+  in
+  Alcotest.(check (list int)) "contradicted attempt clears" []
+    (valid_members k);
+  (* Step 3, membership: a vulnerable server outside the maximal known
+     primary component cannot matter to its quorum. *)
+  let outside_prim n v =
+    {
+      (with_vuln n v) with
+      Types.sm_prim =
+        { (Types.initial_prim ~servers:members) with
+          Types.prim_servers = set [ 1; 2 ]
+        };
+    }
+  in
+  let k =
+    Knowledge.compute ~members
+      (states
+         [
+           (0, outside_prim 0 (vuln ~bits:[] ~vset:[ 0; 9 ] ~attempt:1));
+           (1, outside_prim 1 Types.invalid_vulnerable);
+           (2, outside_prim 2 Types.invalid_vulnerable);
+         ])
+  in
+  Alcotest.(check (list int)) "outside the primary clears" []
+    (valid_members k)
+
 let prop_quorum_unique =
   QCheck.Test.make ~name:"two disjoint components never both quorate" ~count:300
     QCheck.(pair (list_of_size Gen.(return 5) (int_bound 1)) unit)
@@ -796,6 +934,11 @@ let () =
         [
           Alcotest.test_case "quorum majority" `Quick test_quorum_majority;
           Alcotest.test_case "quorum policies" `Quick test_quorum_policies;
+          Alcotest.test_case "quorum weight ties" `Quick test_quorum_weight_ties;
+          Alcotest.test_case "quorum of empty last primary" `Quick
+            test_quorum_empty_prev;
+          Alcotest.test_case "vulnerable invalidation (A.7 steps 3-4)" `Quick
+            test_knowledge_vulnerable_invalidation;
           QCheck_alcotest.to_alcotest prop_quorum_unique;
           Alcotest.test_case "action queue basics" `Quick test_action_queue_basics;
           Alcotest.test_case "action queue floor" `Quick test_action_queue_floor;

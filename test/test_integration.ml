@@ -8,7 +8,24 @@ open Repro_db
 open Repro_core
 open Repro_harness
 
+module Check = Repro_check
+
 let run = World.run
+
+(* Every scenario runs under a repcheck invariant monitor (the online
+   checker of the paper's safety lemmas): zero violations across the
+   whole run is part of each test's assertion. *)
+let make_world ?quorum_policy ~seed ~n () =
+  let w = World.make ?quorum_policy ~seed ~n () in
+  let mon = World.attach_monitor w in
+  (w, mon)
+
+let repcheck_ok mon =
+  Check.Monitor.check_now mon;
+  Alcotest.(check bool) "monitor observed the run" true
+    (Check.Monitor.observations mon > 0);
+  if not (Check.Monitor.ok mon) then
+    Alcotest.failf "%s" (Format.asprintf "%t" (Check.Monitor.report mon))
 
 (* Step the world in small increments until a predicate holds. *)
 let run_until ?(step_ms = 2.) ?(max_ms = 20_000.) w predicate =
@@ -41,7 +58,7 @@ let all_consistent ?(converged = false) w =
    primary component: the paper's No/Un states.  Whatever interleaving
    results, safety must hold and the system must re-converge. *)
 let test_partition_during_construct () =
-  let w = World.make ~seed:33 ~n:5 () in
+  let w, mon = make_world ~seed:33 ~n:5 () in
   run w ~ms:1000.;
   (* Force an exchange by a partition+merge, and catch Construct. *)
   Topology.partition (World.topology w) [ [ 0; 1; 2 ]; [ 3; 4 ] ];
@@ -67,13 +84,14 @@ let test_partition_during_construct () =
   run w ~ms:4000.;
   all_consistent ~converged:true w;
   Alcotest.(check bool) "everyone back in primary" true
-    (List.for_all Replica.in_primary (World.replicas w))
+    (List.for_all Replica.in_primary (World.replicas w));
+  repcheck_ok mon
 
 (* Crash a server in the middle of the Create-Primary-Component round:
    it is vulnerable on disk.  On recovery it must not claim knowledge it
    does not have, and the system must converge. *)
 let test_crash_while_vulnerable () =
-  let w = World.make ~seed:44 ~n:5 () in
+  let w, mon = make_world ~seed:44 ~n:5 () in
   run w ~ms:1000.;
   submit_ok w 0 "pre" 1;
   run w ~ms:500.;
@@ -107,10 +125,11 @@ let test_crash_while_vulnerable () =
   | _ ->
     (* Timing did not produce a Construct window: still verify health. *)
     run w ~ms:4000.;
-    all_consistent ~converged:true w)
+    all_consistent ~converged:true w);
+  repcheck_ok mon
 
 let test_total_crash_staggered_recovery () =
-  let w = World.make ~seed:55 ~n:4 () in
+  let w, mon = make_world ~seed:55 ~n:4 () in
   run w ~ms:1000.;
   for i = 1 to 8 do
     submit_ok w (i mod 4) (Printf.sprintf "k%d" i) i
@@ -134,14 +153,15 @@ let test_total_crash_staggered_recovery () =
   Alcotest.(check bool) "primary re-formed with everyone" true
     (List.for_all Replica.in_primary (World.replicas w));
   Alcotest.(check bool) "durable actions survived" true
-    (Engine.green_count (Replica.engine (World.replica w 0)) >= 8)
+    (Engine.green_count (Replica.engine (World.replica w 0)) >= 8);
+  repcheck_ok mon
 
 (* A new replica whose sponsor sits in a minority component: the
    PERSISTENT_JOIN can only turn green after the heal — the joiner waits
    and then completes (the paper's "accepted into the system without
    ever being connected to the primary component" flexibility). *)
 let test_join_via_minority_sponsor () =
-  let w = World.make ~seed:66 ~n:5 () in
+  let w, mon = make_world ~seed:66 ~n:5 () in
   run w ~ms:1000.;
   submit_ok w 0 "base" 1;
   run w ~ms:500.;
@@ -162,10 +182,11 @@ let test_join_via_minority_sponsor () =
   Alcotest.(check bool) "joiner known cluster-wide" true
     (List.for_all
        (fun r -> Node_id.Set.mem 9 (Engine.known_servers (Replica.engine r)))
-       (World.replicas w))
+       (World.replicas w));
+  repcheck_ok mon
 
 let test_sponsor_crash_mid_join () =
-  let w = World.make ~seed:77 ~n:3 () in
+  let w, mon = make_world ~seed:77 ~n:3 () in
   run w ~ms:1000.;
   for i = 1 to 10 do
     submit_ok w (i mod 3) (Printf.sprintf "k%d" i) i
@@ -180,14 +201,15 @@ let test_sponsor_crash_mid_join () =
     (Replica.is_ready joiner);
   Replica.recover (World.replica w 1);
   run w ~ms:3000.;
-  all_consistent ~converged:true w
+  all_consistent ~converged:true w;
+  repcheck_ok mon
 
 (* A large database is transferred in chunks; the representative dies
    mid-stream and the joiner resumes from a *different* sponsor without
    re-fetching the chunks it already holds (determinism makes snapshots
    at the same green position identical across replicas). *)
 let test_chunked_transfer_resumes_across_sponsors () =
-  let w = World.make ~seed:123 ~n:3 () in
+  let w, mon = make_world ~seed:123 ~n:3 () in
   run w ~ms:1000.;
   (* ~3 MB of state: several dozen 64 KiB transfer chunks. *)
   let blob = String.make 4096 'x' in
@@ -222,10 +244,11 @@ let test_chunked_transfer_resumes_across_sponsors () =
   Alcotest.(check bool) "backup sent fewer than a full restart" true (s2 < s1);
   Replica.recover (World.replica w 1);
   run w ~ms:3000.;
-  all_consistent ~converged:true w
+  all_consistent ~converged:true w;
+  repcheck_ok mon
 
 let test_repeated_partitions_converge () =
-  let w = World.make ~seed:88 ~n:5 () in
+  let w, mon = make_world ~seed:88 ~n:5 () in
   run w ~ms:1000.;
   let key = ref 0 in
   let churn groups =
@@ -244,10 +267,11 @@ let test_repeated_partitions_converge () =
   World.heal_and_settle ~ms:6000. w;
   all_consistent ~converged:true w;
   Alcotest.(check bool) "every submitted action eventually committed" true
-    (Engine.green_count (Replica.engine (World.replica w 0)) >= 20)
+    (Engine.green_count (Replica.engine (World.replica w 0)) >= 20);
+  repcheck_ok mon
 
 let test_join_then_leave_then_partition () =
-  let w = World.make ~seed:99 ~n:3 () in
+  let w, mon = make_world ~seed:99 ~n:3 () in
   run w ~ms:1000.;
   submit_ok w 0 "a" 1;
   run w ~ms:300.;
@@ -263,10 +287,11 @@ let test_join_then_leave_then_partition () =
     (Replica.in_primary (World.replica w 0) && Replica.in_primary joiner);
   Topology.merge_all (World.topology w);
   run w ~ms:3000.;
-  all_consistent w
+  all_consistent w;
+  repcheck_ok mon
 
 let test_fifo_order_per_client () =
-  let w = World.make ~seed:111 ~n:3 () in
+  let w, mon = make_world ~seed:111 ~n:3 () in
   run w ~ms:1000.;
   (* Burst of sequential actions from one replica: FIFO must hold in the
      green order. *)
@@ -286,9 +311,10 @@ let test_fifo_order_per_client () =
   Alcotest.(check (list int)) "fifo per creator" (List.init 20 (fun i -> i + 1))
     indices_of_0;
   (* The last write wins in the database. *)
-  match Replica.weak_query (World.replica w 2) [ "counter" ] with
+  (match Replica.weak_query (World.replica w 2) [ "counter" ] with
   | [ (_, Some (Value.Int 20)) ] -> ()
-  | _ -> Alcotest.fail "final value must be the last write"
+  | _ -> Alcotest.fail "final value must be the last write");
+  repcheck_ok mon
 
 let () =
   Alcotest.run "integration"

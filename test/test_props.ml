@@ -63,6 +63,9 @@ let arb_schedule =
    cluster converges after healing. *)
 let run_schedule ~seed schedule =
   let w = World.make ~seed ~n:n_nodes () in
+  (* The repcheck monitor re-checks the paper's invariants online at
+     every view change while the schedule runs. *)
+  let mon = World.attach_monitor w in
   World.run w ~ms:1000.;
   let key = ref 0 in
   let background () =
@@ -93,6 +96,10 @@ let run_schedule ~seed schedule =
   background ();
   World.run w ~ms:2000.;
   let converged = Consistency.check_all ~converged:true (World.replicas w) in
+  Repro_check.Monitor.check_now mon;
+  if not (Repro_check.Monitor.ok mon) then
+    QCheck.Test.fail_report
+      (Format.asprintf "%t" (Repro_check.Monitor.report mon));
   !safety_ok && converged = []
 
 let prop_fault_schedules_safe =
