@@ -39,6 +39,37 @@ let repcheck_sanity () =
     (Check.Monitor.observations mon)
 
 (* ------------------------------------------------------------------ *)
+(* Model checking: state-space size and throughput at growing bounds —
+   the cost curve of the mcheck exhaustive smoke, and how much of the
+   naive branching the reductions remove.                              *)
+
+let mcheck_space () =
+  Format.fprintf ppf "@.== Model checker: state space and throughput ==@.";
+  Format.fprintf ppf
+    "%8s %7s %8s %10s %10s %8s %8s %10s@." "depth" "faults" "states"
+    "distinct" "branches" "DPORx" "sleep" "states/s";
+  let bounds =
+    if quick then [ (6, 1); (8, 2) ] else [ (6, 1); (8, 2); (10, 2); (12, 2) ]
+  in
+  List.iter
+    (fun (depth, faults) ->
+      let o =
+        Repro_mcheck.Explore.run ~nodes:3 ~depth ~faults ~submits:0 ()
+      in
+      let st = o.Repro_mcheck.Explore.stats in
+      Format.fprintf ppf "%8d %7d %8d %10d %10d %7.2fx %8d %10.0f@." depth
+        faults st.Repro_mcheck.Explore.st_states
+        st.Repro_mcheck.Explore.st_distinct
+        st.Repro_mcheck.Explore.st_branches
+        (Repro_mcheck.Explore.reduction_factor st)
+        st.Repro_mcheck.Explore.st_sleep_skips
+        (float_of_int st.Repro_mcheck.Explore.st_states
+        /. Float.max 1e-6 st.Repro_mcheck.Explore.st_elapsed);
+      if o.Repro_mcheck.Explore.found <> None then
+        Format.fprintf ppf "UNEXPECTED violation on the correct engine@.")
+    bounds
+
+(* ------------------------------------------------------------------ *)
 (* Macro benchmarks: the paper's figures and tables.                   *)
 
 let check_shape name ok =
@@ -255,6 +286,7 @@ let () =
     "Reproduction benchmarks: From Total Order to Database Replication@.\
      (Amir & Tutu, ICDCS 2002) — simulated substrate, virtual time.@.";
   repcheck_sanity ();
+  mcheck_space ();
   figure_5a ();
   figure_5b ();
   latency_table ();

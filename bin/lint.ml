@@ -20,6 +20,17 @@
       protocol states, not abort.  Deliberate exceptions are allowed by
       tagging the line (or the line above) with [(* repcheck: allow *)].
 
+   4. no-ambient-nondeterminism — [Stdlib.Random] and wall-clock reads
+      ([Unix.gettimeofday] / [Unix.time]) are forbidden outside lib/sim.
+      Reproducibility (and the model checker's deterministic replay)
+      depends on all randomness flowing from [Repro_sim.Rng] and all
+      time from the virtual clock.
+
+   5. no-poly-id-hash — [Hashtbl.hash] (and [seeded_hash]) must not be
+      applied to the abstract identifier types [Node_id.t], [Conf_id.t],
+      [Action.Id.t]: a representation change would silently reshuffle
+      every hash-keyed structure.  Use the owning module's [hash].
+
    Runs from the build context root (dune executes it in _build/default),
    so both the .cmt files and the copied sources are reachable by the
    relative paths recorded in the cmt. *)
@@ -131,9 +142,30 @@ let stdlib_ident p names =
   | Path.Pdot (Path.Pident m, s) -> Ident.name m = "Stdlib" && List.mem s names
   | _ -> false
 
+let has_prefix prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let is_ambient_nondet p =
+  let n = demangle (path_name p) in
+  has_prefix "Stdlib.Random." n
+  || has_prefix "Random." n
+  || n = "Unix.gettimeofday" || n = "Unix.time"
+
+let is_poly_hash p =
+  let n = demangle (path_name p) in
+  List.mem n
+    [
+      "Hashtbl.hash";
+      "Stdlib.Hashtbl.hash";
+      "Hashtbl.seeded_hash";
+      "Stdlib.Hashtbl.seeded_hash";
+    ]
+
 (* --- the iterator --------------------------------------------------- *)
 
 let in_core = ref false
+let in_sim = ref false
 
 let check_expr (it : Tast_iterator.iterator) (e : Typedtree.expression) =
   (match e.exp_desc with
@@ -176,6 +208,27 @@ let check_expr (it : Tast_iterator.iterator) (e : Typedtree.expression) =
             "no-engine-state-wildcard: match on engine_state uses a _ branch; \
              enumerate the states so new ones fail exhaustiveness")
       cases
+  | Typedtree.Texp_apply
+      ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, args)
+    when is_poly_hash p ->
+    List.iter
+      (function
+        | _, Some (arg : Typedtree.expression) when is_id_type arg.exp_type ->
+          if not (allowed e.exp_loc) then
+            report e.exp_loc
+              "no-poly-id-hash: Hashtbl.hash applied to abstract id type %s; \
+               use the owning module's hash"
+              (match Types.get_desc arg.exp_type with
+              | Types.Tconstr (p, _, _) -> demangle (path_name p)
+              | _ -> "?")
+        | _ -> ())
+      args
+  | Typedtree.Texp_ident (p, _, _)
+    when (not !in_sim) && is_ambient_nondet p && not (allowed e.exp_loc) ->
+    report e.exp_loc
+      "no-ambient-nondeterminism: %s outside lib/sim; draw randomness from \
+       Repro_sim.Rng and time from the virtual clock"
+      (demangle (path_name p))
   | Typedtree.Texp_apply ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, _)
     when !in_core
          && stdlib_ident p [ "failwith" ]
@@ -218,6 +271,7 @@ let lint_cmt path =
     | Cmt_format.Implementation tstr, Some src ->
       in_core :=
         String.length src >= 9 && String.sub src 0 9 = "lib/core/";
+      in_sim := String.length src >= 8 && String.sub src 0 8 = "lib/sim/";
       iterator.Tast_iterator.structure iterator tstr
     | _ -> ())
 

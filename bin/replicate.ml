@@ -188,6 +188,177 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Every figure, table and ablation in sequence.")
     Term.(const all $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* Model checking                                                      *)
+
+let mc_policy mutate =
+  if mutate then Repro_core.Quorum.Mutated_weak_majority
+  else Repro_core.Quorum.Dynamic_linear
+
+let mc_policy_name mutate = if mutate then "mutated-weak-majority" else "dynamic-linear"
+
+let mcheck nodes depth faults submits mutate no_cache max_states expect
+    script_out =
+  let open Repro_mcheck in
+  Format.fprintf ppf
+    "mcheck: %d nodes, depth %d, %d faults, %d submissions, %s quorum@." nodes
+    depth faults submits (mc_policy_name mutate);
+  let outcome =
+    Explore.run ~policy:(mc_policy mutate) ~use_cache:(not no_cache)
+      ~max_states ~nodes ~depth ~faults ~submits ()
+  in
+  Format.fprintf ppf "%a@." Explore.pp_stats outcome.Explore.stats;
+  if not outcome.Explore.complete then
+    Format.fprintf ppf "WARNING: search stopped at --max-states; not exhaustive@.";
+  (match outcome.Explore.found with
+  | None ->
+    Format.fprintf ppf "no violations within bounds (%s)@."
+      (if outcome.Explore.complete then "exhaustive" else "truncated")
+  | Some cx ->
+    Format.fprintf ppf
+      "VIOLATION (counterexample: %d transitions, minimized from %d):@."
+      (List.length cx.Explore.cx_script)
+      cx.Explore.cx_raw_len;
+    List.iter
+      (fun v ->
+        Format.fprintf ppf "  %a@." Repro_check.Snapshot.pp_violation v)
+      cx.Explore.cx_violations;
+    let script =
+      Printf.sprintf "# mcheck counterexample\n# nodes=%d policy=%s\n%s" nodes
+        (mc_policy_name mutate)
+        (Script.to_string cx.Explore.cx_script)
+    in
+    Format.fprintf ppf "%s" script;
+    (match script_out with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc script;
+      close_out oc;
+      Format.fprintf ppf "script written to %s (replay with mcheck-replay)@."
+        file));
+  let ok =
+    match expect with
+    | `Any -> true
+    | `Clean -> outcome.Explore.found = None && outcome.Explore.complete
+    | `Violation -> outcome.Explore.found <> None
+  in
+  if not ok then begin
+    Format.fprintf ppf "FAILED expectation: %s@."
+      (match expect with
+      | `Clean -> "exhaustive exploration with zero violations"
+      | `Violation -> "a violation within the bounds"
+      | `Any -> assert false);
+    exit 1
+  end
+
+let mcheck_cmd =
+  let nodes_t =
+    Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"N" ~doc:"Replicas.")
+  in
+  let depth_t =
+    Arg.(
+      value & opt int 12
+      & info [ "depth" ] ~docv:"D" ~doc:"Delivery-transition budget.")
+  in
+  let faults_t =
+    Arg.(
+      value & opt int 2
+      & info [ "faults" ] ~docv:"F"
+          ~doc:"Fault budget (crashes, recoveries, partitions, merges).")
+  in
+  let submits_t =
+    Arg.(
+      value & opt int 0
+      & info [ "submits" ] ~docv:"S" ~doc:"Client-submission budget.")
+  in
+  let mutate_t =
+    Arg.(
+      value & flag
+      & info [ "mutate" ]
+          ~doc:
+            "Run the seeded quorum mutation (majority weakened to >= half, \
+             no tie-breaker): the checker must find it.")
+  in
+  let no_cache_t =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the state-fingerprint cache.")
+  in
+  let max_states_t =
+    Arg.(
+      value & opt int 5_000_000
+      & info [ "max-states" ] ~docv:"N" ~doc:"Stop after expanding N states.")
+  in
+  let expect_t =
+    Arg.(
+      value
+      & opt (enum [ ("any", `Any); ("clean", `Clean); ("violation", `Violation) ]) `Any
+      & info [ "expect" ] ~docv:"WHAT"
+          ~doc:
+            "Exit non-zero unless the outcome matches: 'clean' (exhaustive, \
+             zero violations) or 'violation' (a counterexample was found).")
+  in
+  let script_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script-out" ] ~docv:"FILE"
+          ~doc:"Write the minimized counterexample script to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "mcheck"
+       ~doc:
+         "Bounded model checking with dynamic partial-order reduction over \
+          the replica state machine, against the repcheck invariant \
+          catalogue and the abstract-specification refinement oracle.")
+    Term.(
+      const mcheck $ nodes_t $ depth_t $ faults_t $ submits_t $ mutate_t
+      $ no_cache_t $ max_states_t $ expect_t $ script_out_t)
+
+let mcheck_replay file nodes mutate =
+  let open Repro_mcheck in
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let script = Script.of_string text in
+  Format.fprintf ppf "replaying %d transitions on %d nodes (%s quorum):@."
+    (List.length script) nodes (mc_policy_name mutate);
+  List.iter (fun tr -> Format.fprintf ppf "  %a@." Script.pp tr) script;
+  match Explore.replay_violations ~policy:(mc_policy mutate) ~nodes script with
+  | Some (prefix, violations) ->
+    Format.fprintf ppf "violation after %d transition(s):@."
+      (List.length prefix);
+    List.iter
+      (fun v -> Format.fprintf ppf "  %a@." Repro_check.Snapshot.pp_violation v)
+      violations
+  | None ->
+    Format.fprintf ppf "replay completed with no violations@.";
+    exit 1
+
+let mcheck_replay_cmd =
+  let file_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "script" ] ~docv:"FILE" ~doc:"Transition script to replay.")
+  in
+  let nodes_t =
+    Arg.(value & opt int 3 & info [ "nodes" ] ~docv:"N" ~doc:"Replicas.")
+  in
+  let mutate_t =
+    Arg.(
+      value & flag
+      & info [ "mutate" ] ~doc:"Replay against the seeded quorum mutation.")
+  in
+  Cmd.v
+    (Cmd.info "mcheck-replay"
+       ~doc:
+         "Deterministically replay a model-checker counterexample script; \
+          exits non-zero if the violation does not reproduce.")
+    Term.(const mcheck_replay $ file_t $ nodes_t $ mutate_t)
+
 let main_cmd =
   let doc =
     "Reproduction of 'From Total Order to Database Replication' (Amir & \
@@ -205,6 +376,8 @@ let main_cmd =
       fuzz_cmd;
       scale_cmd;
       all_cmd;
+      mcheck_cmd;
+      mcheck_replay_cmd;
     ]
 
 (* REPRO_LOG=debug|info enables engine/replica tracing on stderr. *)

@@ -81,7 +81,7 @@ let on_quorum t ~node ~members ~vulnerable ~prev_prim ~granted =
            "engine %s a quorum the declared policy would %s"
            (if granted then "granted" else "denied")
            (if expected then "grant" else "deny"))
-  | Some Quorum.Static_majority | None -> ()
+  | Some (Quorum.Static_majority | Quorum.Mutated_weak_majority) | None -> ()
 
 let on_install t ~node (prim : Types.prim_component) =
   note t ~node ~tag:"install"

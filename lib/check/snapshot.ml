@@ -36,30 +36,31 @@ type node_snap = {
   ns_in_primary : bool;
 }
 
+let of_engine ~incarnation e =
+  let greens = Engine.green_actions e in
+  let green_count = Engine.green_count e in
+  {
+    ns_node = Engine.node e;
+    ns_incarnation = incarnation;
+    ns_state = Engine.state e;
+    ns_green_floor = green_count - List.length greens;
+    ns_green_ids = List.map (fun a -> a.Action.id) greens;
+    ns_green_count = green_count;
+    ns_green_line = Engine.green_line e;
+    ns_red_ids = List.map (fun a -> a.Action.id) (Engine.red_actions e);
+    ns_yellow = Engine.yellow e;
+    ns_red_cut = Engine.red_cut_map e;
+    ns_white_line = Engine.white_line e;
+    ns_prim = Engine.prim_component e;
+    ns_vulnerable = Engine.vulnerable e;
+    ns_in_primary = Engine.in_primary e;
+  }
+
 let of_replica r =
   if not (Replica.is_ready r) then None
-  else begin
-    let e = Replica.engine r in
-    let greens = Engine.green_actions e in
-    let green_count = Engine.green_count e in
+  else
     Some
-      {
-        ns_node = Replica.node r;
-        ns_incarnation = Replica.incarnation r;
-        ns_state = Engine.state e;
-        ns_green_floor = green_count - List.length greens;
-        ns_green_ids = List.map (fun a -> a.Action.id) greens;
-        ns_green_count = green_count;
-        ns_green_line = Engine.green_line e;
-        ns_red_ids = List.map (fun a -> a.Action.id) (Engine.red_actions e);
-        ns_yellow = Engine.yellow e;
-        ns_red_cut = Engine.red_cut_map e;
-        ns_white_line = Engine.white_line e;
-        ns_prim = Engine.prim_component e;
-        ns_vulnerable = Engine.vulnerable e;
-        ns_in_primary = Engine.in_primary e;
-      }
-  end
+      (of_engine ~incarnation:(Replica.incarnation r) (Replica.engine r))
 
 (* ------------------------------------------------------------------ *)
 (* Instantaneous invariants over one observation (a set of snapshots)  *)

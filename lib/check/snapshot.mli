@@ -41,6 +41,11 @@ type node_snap = {
   ns_in_primary : bool;
 }
 
+val of_engine : incarnation:int -> Engine.t -> node_snap
+(** Snapshot a bare engine — the entry point for harnesses (the model
+    checker) that drive engines without a full {!Replica} around them.
+    [incarnation] scopes step checks: bump it at every crash. *)
+
 val of_replica : Replica.t -> node_snap option
 (** [None] while the replica is down, has left, or is a joiner whose
     state transfer has not completed. *)

@@ -1,0 +1,228 @@
+open Repro_net
+open Repro_core
+
+(* An executable model of the paper's Figure 4 / Appendix A automaton.
+
+   The model checker feeds it the observable behaviour of each concrete
+   engine — the group-communication events it consumes (before the
+   engine processes them) and the audit feed it emits — and the oracle
+   verifies that every concrete step refines an abstract one:
+
+   - every [Audit_state] transition must be an edge of Figure 4, taken
+     under the trigger that the abstract automaton takes it under
+     (view change, state-message delivery, CPC delivery, ...);
+   - every [Audit_quorum] decision must equal the specification's
+     IsQuorum: dynamic linear voting over the last installed primary,
+     with vulnerable members excluded — this is the check that catches
+     a seeded quorum mutation;
+   - every [Audit_install] must be justified by a granted quorum in the
+     current configuration, advance the primary index by exactly one,
+     and agree with every other server's installation of that index
+     (a global registry, the §4 exclusivity argument).
+
+   The refinement mapping is direct: the engine's state names are the
+   abstract states, so the oracle only tracks, per node, the previous
+   audited state, the last consumed trigger, and the last quorum
+   outcome of the current configuration. *)
+
+type trigger =
+  | Tr_none
+  | Tr_trans_conf
+  | Tr_reg_conf
+  | Tr_action of bool (* in_regular *)
+  | Tr_retrans
+  | Tr_state_msg
+  | Tr_cpc
+
+let pp_trigger ppf t =
+  Format.pp_print_string ppf
+    (match t with
+    | Tr_none -> "none"
+    | Tr_trans_conf -> "trans-conf"
+    | Tr_reg_conf -> "reg-conf"
+    | Tr_action true -> "action"
+    | Tr_action false -> "action~"
+    | Tr_retrans -> "retrans"
+    | Tr_state_msg -> "state-msg"
+    | Tr_cpc -> "cpc")
+
+type quorum_outcome =
+  | Q_pending
+  | Q_granted of Types.prim_component * Node_id.Set.t (* prev prim, members *)
+  | Q_denied
+
+type shadow = {
+  mutable sh_state : Types.engine_state;
+  mutable sh_trigger : trigger;
+  mutable sh_quorum : quorum_outcome;
+}
+
+type t = {
+  weights : Quorum.weights;
+  shadows : (Node_id.t, shadow) Hashtbl.t;
+  installs : (int, Types.prim_component) Hashtbl.t;
+  mutable violations : Snapshot.violation list; (* newest first *)
+}
+
+let create ?(weights = Quorum.no_weights) () =
+  { weights; shadows = Hashtbl.create 8; installs = Hashtbl.create 8; violations = [] }
+
+let fresh_shadow () =
+  { sh_state = Types.Non_prim; sh_trigger = Tr_none; sh_quorum = Q_pending }
+
+let shadow t node =
+  match Hashtbl.find_opt t.shadows node with
+  | Some s -> s
+  | None ->
+    let s = fresh_shadow () in
+    Hashtbl.replace t.shadows node s;
+    s
+
+let flag t ?node fmt = Format.kasprintf
+    (fun d ->
+      t.violations <-
+        { Snapshot.v_invariant = "spec-refinement"; v_node = node; v_detail = d }
+        :: t.violations)
+    fmt
+
+let take t =
+  let v = List.rev t.violations in
+  t.violations <- [];
+  v
+
+let ok t = t.violations = []
+
+(* ------------------------------------------------------------------ *)
+(* Observed inputs                                                     *)
+
+let on_view t ~node kind =
+  let sh = shadow t node in
+  match kind with
+  | `Trans -> sh.sh_trigger <- Tr_trans_conf
+  | `Reg ->
+    sh.sh_trigger <- Tr_reg_conf;
+    sh.sh_quorum <- Q_pending
+
+let on_deliver t ~node (payload : Types.payload) ~in_regular =
+  let sh = shadow t node in
+  sh.sh_trigger <-
+    (match payload with
+    | Types.Action_msg _ -> Tr_action in_regular
+    | Types.Retrans_green _ | Types.Retrans_red _ -> Tr_retrans
+    | Types.State_msg _ -> Tr_state_msg
+    | Types.Cpc _ -> Tr_cpc)
+
+let on_recover t ~node = Hashtbl.replace t.shadows node (fresh_shadow ())
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4 edges                                                      *)
+
+let legal_edge sh (to_ : Types.engine_state) =
+  let open Types in
+  match (sh.sh_state, to_) with
+  (* A view change always restarts the exchange. *)
+  | _, Exchange_states -> sh.sh_trigger = Tr_reg_conf
+  (* All state messages of the configuration arrived. *)
+  | Exchange_states, Exchange_actions -> sh.sh_trigger = Tr_state_msg
+  (* End of retransmission, quorum granted / denied. *)
+  | Exchange_actions, Construct -> (
+    match sh.sh_quorum with Q_granted _ -> true | Q_pending | Q_denied -> false)
+  | Exchange_actions, Non_prim ->
+    sh.sh_quorum = Q_denied || sh.sh_trigger = Tr_trans_conf
+  (* Transitional configuration interrupts. *)
+  | Reg_prim, Trans_prim -> sh.sh_trigger = Tr_trans_conf
+  | Construct, No_state -> sh.sh_trigger = Tr_trans_conf
+  | Exchange_states, Non_prim -> sh.sh_trigger = Tr_trans_conf
+  (* All CPCs in. *)
+  | Construct, Reg_prim -> sh.sh_trigger = Tr_cpc
+  | No_state, Un_state -> sh.sh_trigger = Tr_cpc
+  (* 1b: an ordered action reveals that the attempt succeeded. *)
+  | Un_state, Trans_prim -> (
+    match sh.sh_trigger with Tr_action _ -> true | _ -> false)
+  | _, _ -> false
+
+let on_state t ~node to_ =
+  let sh = shadow t node in
+  if not (legal_edge sh to_) then
+    flag t ~node "illegal Figure 4 edge %a -> %a under trigger %a"
+      Types.pp_engine_state sh.sh_state Types.pp_engine_state to_ pp_trigger
+      sh.sh_trigger;
+  sh.sh_state <- to_
+
+(* ------------------------------------------------------------------ *)
+(* IsQuorum refinement (paper §5)                                      *)
+
+let on_quorum t ~node ~members ~vulnerable ~prev_prim ~granted =
+  let sh = shadow t node in
+  if sh.sh_state <> Types.Exchange_actions then
+    flag t ~node "quorum evaluated in %a (spec: ExchangeActions only)"
+      Types.pp_engine_state sh.sh_state;
+  let expected =
+    Node_id.Set.is_empty vulnerable
+    && Quorum.has_majority ~weights:t.weights
+         ~prev:prev_prim.Types.prim_servers members
+  in
+  if granted <> expected then
+    flag t ~node
+      "engine %s a quorum the specification would %s (members %a, prev \
+       primary %d %a, vulnerable %a)"
+      (if granted then "granted" else "denied")
+      (if expected then "grant" else "deny")
+      Node_id.pp_set members prev_prim.Types.prim_index Node_id.pp_set
+      prev_prim.Types.prim_servers Node_id.pp_set vulnerable;
+  sh.sh_quorum <- (if granted then Q_granted (prev_prim, members) else Q_denied)
+
+(* ------------------------------------------------------------------ *)
+(* Install refinement (paper §4, A.10)                                 *)
+
+let on_install t ~node (prim : Types.prim_component) =
+  let sh = shadow t node in
+  (match sh.sh_state with
+  | Types.Construct | Types.Un_state -> ()
+  | s ->
+    flag t ~node "install in %a (spec: Construct or Un only)"
+      Types.pp_engine_state s);
+  (match sh.sh_quorum with
+  | Q_granted (prev, members) ->
+    if prim.Types.prim_index <> prev.Types.prim_index + 1 then
+      flag t ~node "installed primary %d does not follow quorum's primary %d"
+        prim.Types.prim_index prev.Types.prim_index;
+    if not (Node_id.Set.equal prim.Types.prim_servers members) then
+      flag t ~node "installed membership %a differs from quorate view %a"
+        Node_id.pp_set prim.Types.prim_servers Node_id.pp_set members
+  | Q_pending | Q_denied ->
+    flag t ~node "install of primary %d without a granted quorum"
+      prim.Types.prim_index);
+  (* Global exclusivity: one component per index, each a dynamic-linear
+     majority of its predecessor. *)
+  (match Hashtbl.find_opt t.installs prim.Types.prim_index with
+  | Some first
+    when first.Types.prim_attempt <> prim.Types.prim_attempt
+         || not
+              (Node_id.Set.equal first.Types.prim_servers
+                 prim.Types.prim_servers) ->
+    flag t ~node "primary %d installed twice: attempt %d %a vs attempt %d %a"
+      prim.Types.prim_index first.Types.prim_attempt Node_id.pp_set
+      first.Types.prim_servers prim.Types.prim_attempt Node_id.pp_set
+      prim.Types.prim_servers
+  | Some _ | None -> Hashtbl.replace t.installs prim.Types.prim_index prim);
+  match Hashtbl.find_opt t.installs (prim.Types.prim_index - 1) with
+  | Some prev
+    when not
+           (Quorum.has_majority ~weights:t.weights
+              ~prev:prev.Types.prim_servers prim.Types.prim_servers) ->
+    flag t ~node "primary %d (%a) is not a majority of primary %d (%a)"
+      prim.Types.prim_index Node_id.pp_set prim.Types.prim_servers
+      (prim.Types.prim_index - 1)
+      Node_id.pp_set prev.Types.prim_servers
+  | Some _ | None -> ()
+
+let on_audit t ~node = function
+  | Engine.Audit_state s -> on_state t ~node s
+  | Engine.Audit_quorum { aq_members; aq_vulnerable; aq_prev_prim; aq_granted }
+    ->
+    on_quorum t ~node ~members:aq_members ~vulnerable:aq_vulnerable
+      ~prev_prim:aq_prev_prim ~granted:aq_granted
+  | Engine.Audit_install prim -> on_install t ~node prim
+
+let state t node = (shadow t node).sh_state

@@ -1,0 +1,54 @@
+open Repro_net
+open Repro_core
+
+(** The abstract-specification conformance oracle: an executable model
+    of the paper's Figure 4 / Appendix A automaton that every concrete
+    {!Engine} step must refine.
+
+    Feed it, per node and in order, the group-communication events the
+    engine consumes ({!on_view}, {!on_deliver} — call {e before} handing
+    the event to the engine) and the audit feed the engine emits
+    ({!on_audit}).  It verifies that
+
+    - each state transition is a Figure 4 edge taken under its abstract
+      trigger,
+    - each quorum decision equals the specification's IsQuorum (dynamic
+      linear voting over the last installed primary, vulnerable members
+      excluded),
+    - each install is justified by a granted quorum, advances the
+      primary index by one, and never disagrees with another server's
+      installation of the same index.
+
+    Violations carry the invariant name ["spec-refinement"] and are
+    drained with {!take}. *)
+
+type t
+
+val create : ?weights:Quorum.weights -> unit -> t
+(** The specification's quorum system is the paper's dynamic linear
+    voting; [weights] must match the scenario (default: unweighted). *)
+
+val on_view : t -> node:Node_id.t -> [ `Trans | `Reg ] -> unit
+(** A transitional/regular configuration event is about to reach the
+    node's engine. *)
+
+val on_deliver :
+  t -> node:Node_id.t -> Types.payload -> in_regular:bool -> unit
+(** A payload delivery is about to reach the node's engine. *)
+
+val on_audit : t -> node:Node_id.t -> Engine.audit_event -> unit
+(** Wire as the engine's audit sink (or tee into it). *)
+
+val on_recover : t -> node:Node_id.t -> unit
+(** The node's engine was rebuilt from stable storage: its abstract
+    state restarts at NonPrim.  The global install registry survives —
+    exclusivity spans crashes. *)
+
+val state : t -> Node_id.t -> Types.engine_state
+(** The node's current abstract state (for reports and tests). *)
+
+val ok : t -> bool
+(** No undrained violations. *)
+
+val take : t -> Snapshot.violation list
+(** Drains accumulated violations, oldest first. *)

@@ -94,6 +94,8 @@ let green_count t = Action_queue.green_count t.queue
 let green_actions t = Action_queue.greens_from t.queue 0
 let red_actions t = Action_queue.red_actions t.queue
 let green_line t = Action_queue.green_line t.queue
+let ongoing_actions t = t.ongoing
+let attempt t = t.attempt
 let red_cut t s = match Hashtbl.find_opt t.red_cut s with Some c -> c | None -> 0
 
 let green_cut_map t =
@@ -784,9 +786,13 @@ let create_from_snapshot ?weights ~sim ~node ~servers ~snapshot ~green_count
   sync_then t (fun () -> ());
   t
 
-let recover ?weights ~sim ~node ~servers ~persist ~callbacks () =
+let recover ?weights ?quorum_policy ~sim ~node ~servers ~persist ~callbacks ()
+    =
   let r = Persist.recover ~self:node persist in
-  let t = make_blank ?weights ~sim ~node ~servers ~persist ~callbacks () in
+  let t =
+    make_blank ?weights ?quorum_policy ~sim ~node ~servers ~persist ~callbacks
+      ()
+  in
   (match r.Persist.r_meta with
   | Some m ->
     t.prim <- m.m_prim;

@@ -95,6 +95,7 @@ val create_from_snapshot :
 
 val recover :
   ?weights:Quorum.weights ->
+  ?quorum_policy:Quorum.policy ->
   sim:Repro_sim.Engine.t ->
   node:Node_id.t ->
   servers:Node_id.Set.t ->
@@ -142,6 +143,16 @@ val green_count : t -> int
 val green_actions : t -> Action.t list
 val red_actions : t -> Action.t list
 val green_line : t -> Action.Id.t option
+
+val ongoing_actions : t -> Action.t list
+(** Own created actions not yet delivered back, oldest first (they are
+    re-sent after every exchange; part of the logical replica state a
+    model checker fingerprints). *)
+
+val attempt : t -> int
+(** The installation-attempt counter guarded by the vulnerable record
+    (paper §4) — logical state a model checker fingerprints. *)
+
 val red_cut : t -> Node_id.t -> int
 
 val green_cut_map : t -> int Node_id.Map.t

@@ -37,7 +37,16 @@ let has_majority ?(weights = no_weights) ~prev candidate =
 let is_quorum ?(weights = no_weights) ~prev ~vulnerable_present candidate =
   (not vulnerable_present) && has_majority ~weights ~prev candidate
 
-type policy = Dynamic_linear | Static_majority
+type policy = Dynamic_linear | Static_majority | Mutated_weak_majority
+
+(* The seeded bug: >= instead of >, and no tie-breaker, so two disjoint
+   halves of the previous primary can both pass. *)
+let has_weak_majority ?(weights = no_weights) ~prev candidate =
+  if Node_id.Set.is_empty prev then false
+  else begin
+    let present = Node_id.Set.inter candidate prev in
+    2 * total weights present >= total weights prev
+  end
 
 let policy_quorum policy ?(weights = no_weights) ~prev ~all ~vulnerable_present
     candidate =
@@ -46,3 +55,4 @@ let policy_quorum policy ?(weights = no_weights) ~prev ~all ~vulnerable_present
   match policy with
   | Dynamic_linear -> has_majority ~weights ~prev candidate
   | Static_majority -> has_majority ~weights ~prev:all candidate
+  | Mutated_weak_majority -> has_weak_majority ~weights ~prev candidate

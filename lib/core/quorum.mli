@@ -40,6 +40,11 @@ val is_quorum :
 type policy =
   | Dynamic_linear  (** majority of the last installed primary (paper) *)
   | Static_majority  (** majority of the known replica set *)
+  | Mutated_weak_majority
+      (** deliberately broken: half of the last primary suffices
+          ([2*have >= all], no tie-breaker), so two disjoint halves can
+          both be quorate — the seeded fault the model checker's smoke
+          test must catch.  Never use outside checker tests. *)
 
 val policy_quorum :
   policy ->

@@ -104,3 +104,15 @@ let isolate t n =
   t.epoch <- t.epoch + 1
 
 let epoch t = t.epoch
+
+(* Canonical digest of the connectivity: components as sorted member
+   lists, sorted by minimum element.  Labels themselves are arbitrary
+   (fresh_label churns them), so two topologies with the same grouping
+   fingerprint identically regardless of mutation history. *)
+let fingerprint t =
+  components t
+  |> List.map (fun c ->
+         Node_id.Set.elements c
+         |> List.map (Format.asprintf "%a" Node_id.pp)
+         |> String.concat ",")
+  |> String.concat "|"

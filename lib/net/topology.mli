@@ -46,3 +46,8 @@ val isolate : t -> Node_id.t -> unit
 val epoch : t -> int
 (** Increments on every connectivity change; lets pollers detect change
     cheaply. *)
+
+val fingerprint : t -> string
+(** Canonical digest of the current grouping: components as sorted member
+    lists joined with [|].  Independent of internal label history — equal
+    groupings fingerprint equally. *)

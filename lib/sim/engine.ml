@@ -1,9 +1,20 @@
 type timer = {
   at : Time.t;
   seq : int;
+  label : string;
   action : unit -> unit;
   mutable active : bool;
 }
+
+(* The pluggable scheduler decides which of the events *due at the
+   earliest pending time* fires next.  [Fifo] (the default) is the
+   historical behaviour: scheduling order breaks ties, keeping runs
+   deterministic.  [Controlled pick] hands the due set (as labelled
+   choices, scheduling order) to a callback — the hook a model checker
+   or a chaos harness uses to explore same-instant interleavings
+   without forking the simulator. *)
+type choice = { c_at : Time.t; c_seq : int; c_label : string }
+type scheduler = Fifo | Controlled of (choice list -> int)
 
 type t = {
   mutable clock : Time.t;
@@ -11,6 +22,8 @@ type t = {
   queue : timer Heap.t;
   root_rng : Rng.t;
   mutable stopping : bool;
+  mutable scheduler : scheduler;
+  mutable executed : int;
 }
 
 exception Stopped
@@ -26,30 +39,78 @@ let create ?(seed = 1) () =
     queue = Heap.create ~cmp:cmp_timer;
     root_rng = Rng.of_int seed;
     stopping = false;
+    scheduler = Fifo;
+    executed = 0;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
+let set_scheduler t s = t.scheduler <- s
+let events_executed t = t.executed
 
-let schedule_at t ~at action =
+let schedule_at ?(label = "") t ~at action =
   if Time.(at < t.clock) then invalid_arg "Engine.schedule_at: time in the past";
-  let timer = { at; seq = t.seq; action; active = true } in
+  let timer = { at; seq = t.seq; label; action; active = true } in
   t.seq <- t.seq + 1;
   Heap.push t.queue timer;
   timer
 
-let schedule t ~delay action = schedule_at t ~at:(Time.add t.clock ~span:delay) action
+let schedule ?label t ~delay action =
+  schedule_at ?label t ~at:(Time.add t.clock ~span:delay) action
+
 let cancel timer = timer.active <- false
 let is_active timer = timer.active
 let pending t = Heap.length t.queue
 let stop t = t.stopping <- true
 
+(* Pop the timer the scheduler selects among those due at the earliest
+   pending time.  Cancelled timers are reaped for free; under [Fifo] no
+   due set is ever materialised. *)
+let pop_next t =
+  match t.scheduler with
+  | Fifo -> Heap.pop t.queue
+  | Controlled pick -> (
+    (* Reap cancelled timers first so choices are only live events. *)
+    let rec head () =
+      match Heap.peek t.queue with
+      | Some timer when not timer.active ->
+        ignore (Heap.pop t.queue);
+        head ()
+      | other -> other
+    in
+    match head () with
+    | None -> None
+    | Some first ->
+      let rec take acc =
+        match Heap.peek t.queue with
+        | Some timer when Time.equal timer.at first.at ->
+          ignore (Heap.pop t.queue);
+          if timer.active then take (timer :: acc) else take acc
+        | _ -> List.rev acc
+      in
+      let due = take [] in
+      if List.length due = 1 then Some (List.hd due)
+      else begin
+        let choices =
+          List.map
+            (fun timer ->
+              { c_at = timer.at; c_seq = timer.seq; c_label = timer.label })
+            due
+        in
+        let i = pick choices in
+        let i = if i < 0 || i >= List.length due then 0 else i in
+        let chosen = List.nth due i in
+        List.iteri (fun j timer -> if j <> i then Heap.push t.queue timer) due;
+        Some chosen
+      end)
+
 let step t =
-  match Heap.pop t.queue with
+  match pop_next t with
   | None -> false
   | Some timer ->
     if timer.active then begin
       t.clock <- timer.at;
+      t.executed <- t.executed + 1;
       timer.action ()
     end;
     true
@@ -72,3 +133,21 @@ let run ?until t =
   match until with
   | Some limit when (not t.stopping) && Time.(t.clock < limit) -> t.clock <- limit
   | _ -> ()
+
+(* Run until the queue is fully empty — the quiescence primitive of the
+   model checker's controlled schedules, where every transition's local
+   fallout (disk syncs, paced retransmissions) must settle before the
+   next scheduling decision.  [max_steps] guards against a runaway
+   schedule (a periodic timer would never quiesce). *)
+let drain ?(max_steps = 1_000_000) t =
+  let steps = ref 0 in
+  while (not (Heap.is_empty t.queue)) && !steps < max_steps do
+    if step t then incr steps
+  done;
+  if not (Heap.is_empty t.queue) then
+    invalid_arg "Engine.drain: event queue did not quiesce within max_steps";
+  !steps
+
+let fingerprint t =
+  Printf.sprintf "sim clock=%dus seq=%d pending=%d executed=%d"
+    (Time.to_us t.clock) t.seq (pending t) t.executed

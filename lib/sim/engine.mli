@@ -9,6 +9,19 @@ type t
 type timer
 (** A handle to a scheduled event, usable to cancel it. *)
 
+type choice = { c_at : Time.t; c_seq : int; c_label : string }
+(** One event due at the earliest pending time, as presented to a
+    controlled scheduler: its due time, scheduling sequence number, and
+    the label given at [schedule] time (empty if none). *)
+
+type scheduler =
+  | Fifo  (** scheduling order breaks same-time ties (the default) *)
+  | Controlled of (choice list -> int)
+      (** when two or more events are due at the same earliest time, the
+          callback picks which fires next (an index into the list, which
+          is in scheduling order; out-of-range falls back to 0).  Lists
+          of length one never reach the callback. *)
+
 val create : ?seed:int -> unit -> t
 (** A fresh simulation with its clock at {!Time.zero}.  [seed] (default 1)
     seeds the root RNG from which component streams should be [split]. *)
@@ -19,10 +32,17 @@ val now : t -> Time.t
 val rng : t -> Rng.t
 (** The root random stream of this simulation. *)
 
-val schedule : t -> delay:Time.t -> (unit -> unit) -> timer
-(** [schedule t ~delay f] runs [f] at [now t + delay]. *)
+val set_scheduler : t -> scheduler -> unit
+(** Replaces the same-time tie-break policy.  [Fifo] preserves the
+    historical deterministic behaviour; [Controlled] turns same-instant
+    concurrency into explicit choice points for a model checker. *)
 
-val schedule_at : t -> at:Time.t -> (unit -> unit) -> timer
+val schedule : ?label:string -> t -> delay:Time.t -> (unit -> unit) -> timer
+(** [schedule t ~delay f] runs [f] at [now t + delay].  [label] is shown
+    to a [Controlled] scheduler (and in traces); it has no effect on
+    execution order. *)
+
+val schedule_at : ?label:string -> t -> at:Time.t -> (unit -> unit) -> timer
 (** [schedule_at t ~at f] runs [f] at absolute time [at]; [at] must not be
     in the past. *)
 
@@ -43,6 +63,19 @@ val run : ?until:Time.t -> t -> unit
 val step : t -> bool
 (** Executes the single next event. Returns [false] if the queue was
     empty. *)
+
+val drain : ?max_steps:int -> t -> int
+(** Executes events until the queue is completely empty, returning how
+    many were executed.  Raises [Invalid_argument] if the queue has not
+    quiesced after [max_steps] (default one million) events — the guard
+    against a self-rescheduling timer that would never terminate. *)
+
+val events_executed : t -> int
+(** Total events executed since creation (monotonic). *)
+
+val fingerprint : t -> string
+(** A short textual digest of the scheduler state (clock, sequence
+    counter, queue depth, events executed) for state hashing. *)
 
 exception Stopped
 

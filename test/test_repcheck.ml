@@ -235,6 +235,61 @@ let test_monitor_catches_broken_engine () =
        (fun n -> n = "global-total-order" || n = "global-fifo")
        names)
 
+(* Violation reporting: a broken engine must produce full records — the
+   violation, its timestamp, and a non-empty trace window around it —
+   and the pretty-printed report must carry all of it. *)
+let test_monitor_violation_report () =
+  let w = World.make ~seed:11 ~n:3 () in
+  let mon = World.attach_monitor w in
+  World.run w ~ms:1000.;
+  for i = 1 to 4 do
+    World.submit_update w ~node:(i mod 3) ~key:(Printf.sprintf "k%d" i) i
+  done;
+  World.run w ~ms:500.;
+  (* Forge a green-order divergence (same construction as above: passes
+     local FIFO checks, breaks the global order across replicas). *)
+  let forge victim ~creator v =
+    let index = Engine.red_cut (Replica.engine victim) creator + 1 in
+    Engine.handle_event (Replica.engine victim)
+      (Endpoint.Deliver
+         {
+           Endpoint.sender = creator;
+           payload =
+             Types.Action_msg
+               (Action.make ~server:creator ~index
+                  (Action.Update [ Op.Set ("evil", Value.Int v) ]));
+           conf = { Conf_id.coord = 0; counter = 999_999 };
+           seq = 0;
+           in_regular = true;
+         })
+  in
+  forge (World.replica w 1) ~creator:0 1;
+  forge (World.replica w 2) ~creator:1 2;
+  Check.Monitor.check_now mon;
+  let records = Check.Monitor.records mon in
+  Alcotest.(check bool) "at least one record" true (records <> []);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "record has a trace window" true
+        (r.Check.Monitor.r_window <> []))
+    records;
+  let report = Format.asprintf "%t" (Check.Monitor.report mon) in
+  let contains needle =
+    let nl = String.length needle and hl = String.length report in
+    let rec scan i =
+      i + nl <= hl && (String.sub report i nl = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  Alcotest.(check bool) "report counts violations" true
+    (contains "violation(s)");
+  Alcotest.(check bool) "report names the invariant" true
+    (List.exists
+       (fun r -> contains r.Check.Monitor.r_violation.Snapshot.v_invariant)
+       records);
+  Alcotest.(check bool) "report prints the trace window" true
+    (contains "trace window")
+
 (* --- determinism ------------------------------------------------------ *)
 
 let scenario seed () =
@@ -251,6 +306,17 @@ let scenario seed () =
 let test_determinism_same_seed () =
   let diff = Check.Determinism.check ~run:(scenario 42) () in
   Alcotest.(check (list string)) "two same-seed runs are identical" [] diff
+
+(* A small seed matrix: determinism must hold across schedules, not for
+   one lucky seed. *)
+let test_determinism_seed_matrix () =
+  List.iter
+    (fun seed ->
+      let diff = Check.Determinism.check ~run:(scenario seed) () in
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %d is deterministic" seed)
+        [] diff)
+    [ 7; 13; 99 ]
 
 let test_determinism_diff_detects () =
   Alcotest.(check int) "one differing line" 1
@@ -281,11 +347,15 @@ let () =
             test_monitor_clean_run;
           Alcotest.test_case "broken engine is caught" `Quick
             test_monitor_catches_broken_engine;
+          Alcotest.test_case "violation report carries trace window" `Quick
+            test_monitor_violation_report;
         ] );
       ( "determinism",
         [
           Alcotest.test_case "same seed, identical runs" `Slow
             test_determinism_same_seed;
+          Alcotest.test_case "seed matrix is deterministic" `Slow
+            test_determinism_seed_matrix;
           Alcotest.test_case "diff detects divergence" `Quick
             test_determinism_diff_detects;
         ] );

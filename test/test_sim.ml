@@ -127,6 +127,41 @@ let test_engine_nested_schedule () =
   Alcotest.(check (list string)) "nested runs" [ "outer"; "inner" ] (List.rev !log);
   Alcotest.(check int) "clock" 15 (Time.to_us (Engine.now engine))
 
+let test_engine_controlled_scheduler () =
+  let engine = Engine.create () in
+  let seen = ref [] in
+  Engine.set_scheduler engine
+    (Engine.Controlled
+       (fun choices ->
+         seen := List.map (fun c -> c.Engine.c_label) choices :: !seen;
+         List.length choices - 1));
+  let order = ref [] in
+  let record tag () = order := tag :: !order in
+  ignore (Engine.schedule ~label:"a" engine ~delay:(Time.of_us 10) (record "a"));
+  ignore (Engine.schedule ~label:"b" engine ~delay:(Time.of_us 10) (record "b"));
+  ignore (Engine.schedule ~label:"c" engine ~delay:(Time.of_us 10) (record "c"));
+  ignore (Engine.schedule ~label:"d" engine ~delay:(Time.of_us 20) (record "d"));
+  Engine.run engine;
+  Alcotest.(check (list string))
+    "callback picked last-first among the same-time batch" [ "c"; "b"; "a"; "d" ]
+    (List.rev !order);
+  Alcotest.(check (list (list string)))
+    "callback saw shrinking label lists; singletons bypass it"
+    [ [ "a"; "b"; "c" ]; [ "a"; "b" ] ]
+    (List.rev !seen)
+
+let test_engine_controlled_out_of_range () =
+  let engine = Engine.create () in
+  Engine.set_scheduler engine (Engine.Controlled (fun _ -> 99));
+  let order = ref [] in
+  let record tag () = order := tag :: !order in
+  ignore (Engine.schedule engine ~delay:(Time.of_us 10) (record "a"));
+  ignore (Engine.schedule engine ~delay:(Time.of_us 10) (record "b"));
+  Engine.run engine;
+  Alcotest.(check (list string))
+    "out-of-range choice falls back to scheduling order" [ "a"; "b" ]
+    (List.rev !order)
+
 let test_engine_stop () =
   let engine = Engine.create () in
   let fired = ref 0 in
@@ -272,6 +307,10 @@ let () =
           Alcotest.test_case "run until" `Quick test_engine_until;
           Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
           Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "controlled scheduler" `Quick
+            test_engine_controlled_scheduler;
+          Alcotest.test_case "controlled out-of-range" `Quick
+            test_engine_controlled_out_of_range;
           QCheck_alcotest.to_alcotest prop_engine_executes_all;
         ] );
       ( "distributions",
