@@ -39,6 +39,122 @@ let repcheck_sanity () =
     (Check.Monitor.observations mon)
 
 (* ------------------------------------------------------------------ *)
+(* Recovery cost: how long a crashed replica takes to get back into the
+   group, by log length, checkpoint freshness and the storage verdict
+   its write-ahead log recovery returns.  "rec ms" is virtual time from
+   [Replica.recover] until the replica is ready and has caught back up
+   to its peers' green count; "entries" is the durable log replayed (or
+   discarded, for amnesia); "flushes" the physical flushes recovery and
+   catch-up cost; "xfer" the state-transfer chunks the peers served —
+   amnesia looks fast on the clock precisely because it ships the
+   compacted snapshot over the wire instead of replaying locally.      *)
+
+let recovery_table () =
+  let module Disk = Repro_storage.Disk in
+  let module Replica = Repro_core.Replica in
+  let module Action = Repro_db.Action in
+  Format.fprintf ppf
+    "@.== Recovery cost: log length x checkpoint freshness x verdict ==@.";
+  Format.fprintf ppf "%6s %10s %9s %14s %8s %8s %6s %9s@." "log" "checkpoint"
+    "fault" "verdict" "entries" "flushes" "xfer" "rec ms";
+  let lengths = if quick then [ 60; 240 ] else [ 60; 240; 960 ] in
+  let cadences = [ (None, "never"); (Some 50, "every 50") ] in
+  let faults =
+    [ ("none", `Clean); ("torn", `Torn); ("interior", `Interior);
+      ("head", `Head) ]
+  in
+  List.iter
+    (fun len ->
+      List.iter
+        (fun (cadence, cadence_name) ->
+          List.iter
+            (fun (fault_name, fault) ->
+              let fault_cfg =
+                match fault with
+                | `Torn ->
+                  { Disk.no_faults with torn_tail_on_crash = 1.0 }
+                | _ -> Disk.no_faults
+              in
+              let disk_config =
+                {
+                  Disk.default_forced with
+                  sync_latency = Sim.Time.of_ms 1.;
+                  sync_jitter = 0.;
+                  faults = fault_cfg;
+                }
+              in
+              let w =
+                World.make ~disk_config ~checkpoint_every:cadence ~seed:7
+                  ~n:3 ()
+              in
+              World.run w ~ms:1000.;
+              let victim = World.replica w 2 in
+              let submitted = ref 0 in
+              while !submitted < len do
+                for _ = 1 to 20 do
+                  incr submitted;
+                  World.submit_update w ~node:(!submitted mod 3)
+                    ~key:(Printf.sprintf "r%d" (!submitted mod 16))
+                    !submitted
+                done;
+                World.run w ~ms:200.
+              done;
+              World.run w ~ms:1000.;
+              (match fault with
+              | `Torn ->
+                (* Leave a record in flight so the crash tears it. *)
+                Replica.submit victim
+                  (Action.Update
+                     [ Repro_db.Op.Set ("torn", Repro_db.Value.Int 1) ])
+                  ~on_response:(fun _ -> ())
+              | _ -> ());
+              Replica.crash victim;
+              (match fault with
+              | `Interior ->
+                ignore
+                  (Replica.corrupt_log victim
+                     ~nth:(Replica.log_entries victim - 1))
+              | `Head -> ignore (Replica.corrupt_log victim ~nth:0)
+              | `Clean | `Torn -> ());
+              let entries = Replica.log_entries victim in
+              let flushes0 = Replica.log_flushes victim in
+              let chunks () =
+                List.fold_left
+                  (fun acc r -> acc + Replica.transfer_chunks_sent r)
+                  0 (World.replicas w)
+              in
+              let chunks0 = chunks () in
+              let sim = World.sim w in
+              let t0 = Sim.Engine.now sim in
+              Replica.recover victim;
+              let peer = World.replica w 0 in
+              let caught_up () =
+                Replica.is_ready victim
+                && Repro_core.Engine.green_count (Replica.engine victim)
+                   >= Repro_core.Engine.green_count (Replica.engine peer)
+              in
+              let slices = ref 0 in
+              while (not (caught_up ())) && !slices < 30_000 do
+                incr slices;
+                World.run w ~ms:1.
+              done;
+              let rec_ms =
+                Sim.Time.to_ms (Sim.Time.diff (Sim.Engine.now sim) t0)
+              in
+              Format.fprintf ppf "%6d %10s %9s %14s %8d %8d %6d %8.1f%s@." len
+                cadence_name fault_name
+                (match Replica.last_recovery victim with
+                | Some v -> Format.asprintf "%a" Repro_core.Persist.pp_verdict v
+                | None -> "-")
+                entries
+                (Replica.log_flushes victim - flushes0)
+                (chunks () - chunks0) rec_ms
+                (if caught_up () then "" else "  (never caught up)"))
+            faults)
+        cadences)
+    lengths
+
+(* ------------------------------------------------------------------ *)
 (* Model checking: state-space size and throughput at growing bounds —
    the cost curve of the mcheck exhaustive smoke, and how much of the
    naive branching the reductions remove.                              *)
@@ -286,6 +402,7 @@ let () =
     "Reproduction benchmarks: From Total Order to Database Replication@.\
      (Amir & Tutu, ICDCS 2002) — simulated substrate, virtual time.@.";
   repcheck_sanity ();
+  recovery_table ();
   mcheck_space ();
   figure_5a ();
   figure_5b ();

@@ -31,6 +31,12 @@
       [Action.Id.t]: a representation change would silently reshuffle
       every hash-keyed structure.  Use the owning module's [hash].
 
+   6. no-wlog-recover-outside-persist — [Wlog.recover] may only be
+      called from lib/core/persist.ml.  Recovery returns a typed damage
+      verdict (clean / torn tail / corrupt interior) whose policy —
+      truncate, salvage, or amnesiac rejoin — lives in [Persist.recover];
+      a direct call would silently trust a damaged log.
+
    Runs from the build context root (dune executes it in _build/default),
    so both the .cmt files and the copied sources are reachable by the
    relative paths recorded in the cmt. *)
@@ -162,10 +168,15 @@ let is_poly_hash p =
       "Stdlib.Hashtbl.seeded_hash";
     ]
 
+let is_wlog_recover p =
+  let n = demangle (path_name p) in
+  n = "Wlog.recover" || Filename.check_suffix n ".Wlog.recover"
+
 (* --- the iterator --------------------------------------------------- *)
 
 let in_core = ref false
 let in_sim = ref false
+let cur_src = ref ""
 
 let check_expr (it : Tast_iterator.iterator) (e : Typedtree.expression) =
   (match e.exp_desc with
@@ -224,6 +235,16 @@ let check_expr (it : Tast_iterator.iterator) (e : Typedtree.expression) =
         | _ -> ())
       args
   | Typedtree.Texp_ident (p, _, _)
+    when is_wlog_recover p
+         && !cur_src <> "lib/core/persist.ml"
+         && !cur_src <> "lib/storage/wlog.ml"
+         && not (allowed e.exp_loc) ->
+    report e.exp_loc
+      "no-wlog-recover-outside-persist: Wlog.recover called from %s; the \
+       damage-verdict policy lives in Repro_core.Persist.recover — go \
+       through it"
+      !cur_src
+  | Typedtree.Texp_ident (p, _, _)
     when (not !in_sim) && is_ambient_nondet p && not (allowed e.exp_loc) ->
     report e.exp_loc
       "no-ambient-nondeterminism: %s outside lib/sim; draw randomness from \
@@ -272,6 +293,7 @@ let lint_cmt path =
       in_core :=
         String.length src >= 9 && String.sub src 0 9 = "lib/core/";
       in_sim := String.length src >= 8 && String.sub src 0 8 = "lib/sim/";
+      cur_src := src;
       iterator.Tast_iterator.structure iterator tstr
     | _ -> ())
 

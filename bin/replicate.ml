@@ -158,6 +158,66 @@ let fuzz_cmd =
          "Random partition/crash/recover schedule with the consistency           checker after every step.")
     Term.(const fuzz $ seed_t $ rounds_t)
 
+let nemesis seed nodes ms settle expect =
+  let open Repro_harness in
+  let config =
+    {
+      Nemesis.default_config with
+      seed;
+      nodes;
+      active_ms = ms;
+      settle_ms = settle;
+    }
+  in
+  Format.fprintf ppf
+    "nemesis: seed %d, %d nodes, %.0f ms active / %.0f ms settle@." seed nodes
+    ms settle;
+  let o = Nemesis.run ~config () in
+  Format.fprintf ppf "%a@." Nemesis.pp_outcome o;
+  if expect = `Clean && not (Nemesis.converged o) then begin
+    Format.fprintf ppf
+      "FAILED expectation: convergence with zero checker violations@.";
+    exit 1
+  end
+
+let nemesis_cmd =
+  let seed_t =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed.")
+  in
+  let nodes_t =
+    Arg.(value & opt int 5 & info [ "nodes" ] ~docv:"N" ~doc:"Replicas.")
+  in
+  let ms_t =
+    Arg.(
+      value & opt float 4_000.
+      & info [ "ms" ] ~docv:"MS"
+          ~doc:"Fault-injection phase duration in virtual milliseconds.")
+  in
+  let settle_t =
+    Arg.(
+      value & opt float 30_000.
+      & info [ "settle-ms" ] ~docv:"MS"
+          ~doc:"Budget for the final heal-and-settle phase.")
+  in
+  let expect_t =
+    Arg.(
+      value
+      & opt (enum [ ("any", `Any); ("clean", `Clean) ]) `Any
+      & info [ "expect" ] ~docv:"WHAT"
+          ~doc:
+            "With 'clean', exit non-zero unless every replica converged and \
+             both checkers (repcheck monitor + consistency catalogue) are \
+             silent.")
+  in
+  Cmd.v
+    (Cmd.info "nemesis"
+       ~doc:
+         "A seeded randomized fault campaign: crash/restart with storage \
+          faults (torn tails, corruption, read errors), partitions and \
+          heals under sustained load, then heal, recover and assert \
+          convergence and a clean invariant-monitor sweep.")
+    Term.(const nemesis $ seed_t $ nodes_t $ ms_t $ settle_t $ expect_t)
+
 let scale () = ignore (Repro_harness.Figures.ablation_scale ppf ())
 
 let scale_cmd =
@@ -374,6 +434,7 @@ let main_cmd =
       partition_cmd;
       scenario_cmd;
       fuzz_cmd;
+      nemesis_cmd;
       scale_cmd;
       all_cmd;
       mcheck_cmd;

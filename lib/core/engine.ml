@@ -171,6 +171,12 @@ let note_own_green t pos (id : Action.Id.t) =
 let rec mark_red t (a : Action.t) =
   let creator = a.id.server in
   let cut = red_cut t creator in
+  (* Never mint an action id below one already seen with our creator
+     stamp: after a salvaged or amnesiac recovery, copies of our old
+     incarnation's actions may still arrive from peers, and reusing
+     their indices would collide with them. *)
+  if Node_id.equal creator t.node && a.id.index > t.action_index then
+    t.action_index <- a.id.index;
   if a.id.index = cut + 1 then begin
     Hashtbl.replace t.red_cut creator (cut + 1);
     Persist.log_red t.persist a;
@@ -182,7 +188,16 @@ let rec mark_red t (a : Action.t) =
     drain_pending_red t creator;
     true
   end
-  else if a.id.index <= cut then false (* duplicate *)
+  else if a.id.index <= cut then begin
+    (* Duplicate delivery.  After recovery our own undelivered actions
+       are already red (A.13) yet stay on the ongoing queue for
+       resending; the delivery of a resent copy is the signal that it
+       is ordered and the queue entry can go. *)
+    if Node_id.equal creator t.node then
+      t.ongoing <-
+        List.filter (fun o -> not (Action.Id.equal o.Action.id a.id)) t.ongoing;
+    false
+  end
   else begin
     let tbl =
       match Hashtbl.find_opt t.pending_red creator with
@@ -758,9 +773,27 @@ let create ?weights ?quorum_policy ~sim ~node ~servers ~persist ~callbacks () =
 
 let stats t = t.stats
 
-let create_from_snapshot ?weights ~sim ~node ~servers ~snapshot ~green_count
-    ~green_line ~red_cut ~prim ~persist ~callbacks () =
+let create_from_snapshot ?weights ?(action_floor = 0) ~sim ~node ~servers
+    ~snapshot ~green_count ~green_line ~red_cut ~prim ~persist ~callbacks () =
   let t = make_blank ?weights ~sim ~node ~servers ~persist ~callbacks () in
+  (* An amnesiac rejoiner must not re-mint action ids its previous life
+     used: start counting from the sponsor's red cut for this node, or
+     from the floor recovered from still-readable log records when that
+     is higher.  In the latter case the ids between the two are known
+     only to the dead incarnation; since per-creator delivery is
+     gap-free, they are re-proposed as no-op fillers (bodies lost) so
+     peers can advance past them. *)
+  let own_cut =
+    match Node_id.Map.find_opt node red_cut with Some c -> c | None -> 0
+  in
+  t.action_index <- max action_floor own_cut;
+  for index = own_cut + 1 to action_floor do
+    let filler =
+      Action.make ~client:0 ~size:32 ~server:node ~index (Action.Update [])
+    in
+    Persist.log_ongoing t.persist filler;
+    t.ongoing <- t.ongoing @ [ filler ]
+  done;
   Action_queue.set_join_floor t.queue ~count:green_count ~line:green_line;
   Node_id.Map.iter
     (fun s c ->
@@ -786,9 +819,13 @@ let create_from_snapshot ?weights ~sim ~node ~servers ~snapshot ~green_count
   sync_then t (fun () -> ());
   t
 
-let recover ?weights ?quorum_policy ~sim ~node ~servers ~persist ~callbacks ()
-    =
-  let r = Persist.recover ~self:node persist in
+let recover ?weights ?quorum_policy ?recovered ~sim ~node ~servers ~persist
+    ~callbacks () =
+  let r =
+    match recovered with
+    | Some r -> r
+    | None -> Persist.recover ~self:node persist
+  in
   let t =
     make_blank ?weights ?quorum_policy ~sim ~node ~servers ~persist ~callbacks
       ()
@@ -823,12 +860,13 @@ let recover ?weights ?quorum_policy ~sim ~node ~servers ~persist ~callbacks ()
   List.iter (fun a -> Action_queue.add_red t.queue a) r.Persist.r_red;
   Node_id.Map.iter (fun s c -> Hashtbl.replace t.red_cut s c) r.Persist.r_red_cut;
   t.action_index <- r.Persist.r_action_index;
-  (* A.13: re-inject own undelivered actions as red. *)
-  List.iter
-    (fun a ->
-      t.ongoing <- t.ongoing @ [ a ];
-      ignore (mark_red t a))
-    r.Persist.r_ongoing;
+  (* A.13: re-inject own undelivered actions as red AND keep them on
+     the ongoing queue, so [resend_ongoing] re-proposes them after the
+     next exchange.  (mark_red pops own actions off the queue when they
+     are newly accepted, so the queue is restored afterwards; the
+     duplicate delivery of a resent copy drains it.) *)
+  List.iter (fun a -> ignore (mark_red t a)) r.Persist.r_ongoing;
+  t.ongoing <- r.Persist.r_ongoing;
   log_meta t;
   sync_then t (fun () -> ());
   ( t,

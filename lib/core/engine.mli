@@ -76,6 +76,7 @@ val create :
 
 val create_from_snapshot :
   ?weights:Quorum.weights ->
+  ?action_floor:int ->
   sim:Repro_sim.Engine.t ->
   node:Node_id.t ->
   servers:Node_id.Set.t ->
@@ -91,11 +92,14 @@ val create_from_snapshot :
 (** A dynamically instantiated replica (paper CodeSegment 5.2): its green
     prefix starts at the transferred [green_count] with no action bodies
     (the database state arrived by [snapshot], which is logged as this
-    replica's first durable checkpoint). *)
+    replica's first durable checkpoint).  [action_floor] seeds the
+    action-index counter: an amnesiac rejoiner passes the sponsor's red
+    cut for it, so ids of its discarded life are never re-minted. *)
 
 val recover :
   ?weights:Quorum.weights ->
   ?quorum_policy:Quorum.policy ->
+  ?recovered:Persist.recovered ->
   sim:Repro_sim.Engine.t ->
   node:Node_id.t ->
   servers:Node_id.Set.t ->
@@ -107,7 +111,12 @@ val recover :
     returns the engine, the latest checkpoint's database snapshot (if
     any) and the green actions after it, in green order, so the caller
     can rebuild its database.  Ongoing own actions past the durable red
-    cut are re-marked red. *)
+    cut are re-marked red and stay queued for re-proposal after the
+    next state exchange.  [recovered] supplies an already-performed
+    [Persist.recover] result (the caller typically branched on its
+    verdict first — amnesiac recovery must not build an engine from the
+    discarded log); when absent the log is recovered here.  Do not call
+    with a [V_amnesia] verdict. *)
 
 val checkpoint : t -> Database.snapshot -> unit
 (** Records a durable checkpoint of the engine's green knowledge paired

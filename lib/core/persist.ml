@@ -30,6 +30,18 @@ let sync t k = Wlog.sync t.log k
 let crash t = Wlog.crash t.log
 let entries_logged t = Wlog.length t.log
 
+type verdict =
+  | V_clean
+  | V_torn_tail of int
+  | V_salvaged of int
+  | V_amnesia
+
+let pp_verdict ppf = function
+  | V_clean -> Format.pp_print_string ppf "clean"
+  | V_torn_tail n -> Format.fprintf ppf "torn-tail(-%d)" n
+  | V_salvaged n -> Format.fprintf ppf "salvaged(-%d)" n
+  | V_amnesia -> Format.pp_print_string ppf "amnesia"
+
 type recovered = {
   r_meta : Types.meta option;
   r_green : Action.t list;
@@ -38,13 +50,16 @@ type recovered = {
   r_ongoing : Action.t list;
   r_red_cut : int Node_id.Map.t;
   r_action_index : int;
+  r_verdict : verdict;
+  r_read_retries : int;
+  r_backoff : Repro_sim.Time.t;
 }
 
 let cut_of map server =
   match Node_id.Map.find_opt server map with Some c -> c | None -> 0
 
-let recover ~self t =
-  let entries = Wlog.recover t.log in
+(* Replay a verified entry list into engine state. *)
+let parse ~self entries =
   let bodies : (Node_id.t * int, Action.t) Hashtbl.t = Hashtbl.create 256 in
   let greened : (Node_id.t * int, unit) Hashtbl.t = Hashtbl.create 256 in
   let key (id : Action.Id.t) = (id.server, id.index) in
@@ -109,22 +124,186 @@ let recover ~self t =
     List.rev !ongoing_rev
     |> List.filter (fun a -> a.Action.id.index > cut_of !red_cut self)
   in
-  {
-    r_meta = !meta;
-    r_green = List.rev !green_rev;
-    r_checkpoint = !checkpoint;
-    r_red;
-    r_ongoing;
-    r_red_cut = !red_cut;
-    r_action_index = !action_index;
-  }
+  ( !meta,
+    List.rev !green_rev,
+    !checkpoint,
+    r_red,
+    r_ongoing,
+    !red_cut,
+    !action_index )
+
+let is_checkpoint = function E_checkpoint _ -> true | _ -> false
+let checkpoints entries = List.length (List.filter is_checkpoint entries)
+
+(* The highest own action index mentioned anywhere in [entries] —
+   including records beyond the damage point.  Adopting it prevents a
+   salvaged or amnesiac replica from re-minting an action id its
+   previous life already used (ids must be unique forever: a duplicate
+   would collide with copies still floating at peers). *)
+let max_own_index ~self entries =
+  List.fold_left
+    (fun acc entry ->
+      let own (id : Action.Id.t) =
+        if Node_id.equal id.server self then max acc id.index else acc
+      in
+      match entry with
+      | E_ongoing a | E_red a -> own a.Action.id
+      | E_green id -> own id
+      | E_meta _ | E_checkpoint _ -> acc)
+    0 entries
+
+(* Own-creator action bodies found among [entries] (readable records,
+   possibly beyond the damage point), indexed by action index. *)
+let own_bodies ~self entries =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun entry ->
+      match entry with
+      | E_ongoing a | E_red a ->
+        if Node_id.equal a.Action.id.server self then
+          Hashtbl.replace tbl a.Action.id.index a
+      | E_green _ | E_meta _ | E_checkpoint _ -> ())
+    entries;
+  tbl
+
+(* Salvage drops records that were durable — and the engine forces the
+   ongoing write *before* multicasting, so a dropped own action may
+   already be known (red) at peers.  Action delivery is FIFO and
+   gap-free per creator: if this server resumed minting above its
+   trusted index, the skipped indexes would never be deliverable and
+   every peer would stall on the gap.  So the lost range is re-proposed:
+   bodies recovered from readable records verbatim, unrecoverable
+   indexes as no-op fillers.  A filler and a still-floating old copy of
+   the same id resolve by first-green-wins — globally consistent, since
+   green assignment is totally ordered and delivery dedups by id. *)
+let refill_own ~self ~readable ~own_cut ~floor =
+  let bodies = own_bodies ~self readable in
+  let rec build idx acc =
+    if idx > floor then List.rev acc
+    else
+      let a =
+        match Hashtbl.find_opt bodies idx with
+        | Some a -> a
+        | None ->
+          Action.make ~client:0 ~size:32 ~server:self ~index:idx
+            (Action.Update [])
+      in
+      build (idx + 1) (a :: acc)
+  in
+  build (own_cut + 1) []
+
+(* The newest meta record among [entries] (checkpoints carry one too).
+   Under-claiming green/red knowledge is safe — peers retransmit — but
+   under-claiming the vulnerable record is not: a server that forgot it
+   joined an installation attempt could let a non-quorum install.  So
+   salvage adopts the newest *readable* meta even past the damage. *)
+let newest_meta entries =
+  List.fold_left
+    (fun acc entry ->
+      match entry with
+      | E_meta m -> Some m
+      | E_checkpoint c -> Some c.c_meta
+      | E_ongoing _ | E_red _ | E_green _ -> acc)
+    None entries
+
+let recover ~self t =
+  let rv = Wlog.recover t.log in
+  let finish ~verdict ~meta_override ~action_floor entries =
+    let meta, green, checkpoint, red, ongoing, red_cut, action_index =
+      parse ~self entries
+    in
+    {
+      r_meta = (match meta_override with Some _ as m -> m | None -> meta);
+      r_green = green;
+      r_checkpoint = checkpoint;
+      r_red = red;
+      r_ongoing = ongoing;
+      r_red_cut = red_cut;
+      r_action_index = max action_index action_floor;
+      r_verdict = verdict;
+      r_read_retries = rv.Wlog.rv_read_retries;
+      r_backoff = rv.Wlog.rv_backoff;
+    }
+  in
+  match rv.Wlog.rv_verdict with
+  | Wlog.Clean ->
+    finish ~verdict:V_clean ~meta_override:None ~action_floor:0
+      rv.Wlog.rv_trusted
+  | Wlog.Torn_tail i ->
+    (* The damaged suffix was in flight: its sync callback never fired,
+       so no one — client, peer, or the engine's own continuation — was
+       ever told it was durable.  Truncating it is indistinguishable
+       from having crashed a moment earlier. *)
+    let dropped = Wlog.length t.log - i in
+    Wlog.truncate_damaged t.log ~from:i;
+    finish ~verdict:(V_torn_tail dropped) ~meta_override:None ~action_floor:0
+      rv.Wlog.rv_trusted
+  | Wlog.Corrupt_interior i ->
+    let foundation_lost =
+      (* The log's head record is gone (for a compacted log that head is
+         the checkpoint everything builds on), or the freshest readable
+         checkpoint lies at/after the damage: the trusted prefix would
+         rebuild state older than what this server already claimed
+         durably.  No prefix can be trusted — discard and rejoin by
+         state transfer. *)
+      i = 0 || checkpoints rv.Wlog.rv_readable > checkpoints rv.Wlog.rv_trusted
+    in
+    if foundation_lost then begin
+      let action_floor = max_own_index ~self rv.Wlog.rv_readable in
+      Wlog.reset t.log;
+      {
+        r_meta = None;
+        r_green = [];
+        r_checkpoint = None;
+        r_red = [];
+        r_ongoing = [];
+        r_red_cut = Node_id.Map.empty;
+        r_action_index = action_floor;
+        r_verdict = V_amnesia;
+        r_read_retries = rv.Wlog.rv_read_retries;
+        r_backoff = rv.Wlog.rv_backoff;
+      }
+    end
+    else begin
+      let dropped = Wlog.length t.log - i in
+      Wlog.truncate_damaged t.log ~from:i;
+      let r =
+        finish ~verdict:(V_salvaged dropped)
+          ~meta_override:(newest_meta rv.Wlog.rv_readable)
+          ~action_floor:(max_own_index ~self rv.Wlog.rv_readable)
+          rv.Wlog.rv_trusted
+      in
+      (* Re-propose the own actions the dropped suffix held (see
+         [refill_own]); the trusted ongoing queue ends at the trusted
+         index, so appending keeps the queue in index order. *)
+      let own_cut =
+        List.fold_left
+          (fun acc (a : Action.t) -> max acc a.id.index)
+          (cut_of r.r_red_cut self) r.r_ongoing
+      in
+      let refill =
+        refill_own ~self ~readable:rv.Wlog.rv_readable ~own_cut
+          ~floor:r.r_action_index
+      in
+      { r with r_ongoing = r.r_ongoing @ refill }
+    end
+
+let corrupt_nth t nth = Wlog.corrupt t.log ~nth
 
 (* Compaction: keep the newest checkpoint and whatever it does not
    cover — later entries, red actions above its green cuts, and own
    ongoing actions.  Mirrors switching to a fresh log segment whose head
    is the checkpoint. *)
 let compact t =
-  let entries = Wlog.recover t.log in
+  let rv = Wlog.recover t.log in
+  (* With damage present, compaction could silently drop records the
+     verdict policy still needs; leave the log alone until the next
+     recovery has resolved it. *)
+  let entries =
+    match rv.Wlog.rv_verdict with
+    | Wlog.Torn_tail _ | Wlog.Corrupt_interior _ -> []
+    | Wlog.Clean -> rv.Wlog.rv_trusted
+  in
   let latest =
     List.fold_left
       (fun acc entry ->

@@ -54,6 +54,34 @@ val sync : t -> (unit -> unit) -> unit
 
 val crash : t -> unit
 
+(** What recovery decided after verifying the log's record framing
+    (paper A.13 extended with the storage fault model):
+
+    - [V_clean]: every record verified; full state rebuilt.
+    - [V_torn_tail n]: the [n] damaged records at the tail were the
+      in-flight (never-synced) suffix; they were truncated and the rest
+      of the state rebuilt.  Safe by the vulnerable-record argument: an
+      unsynced suffix is indistinguishable from a crash just before the
+      write — the paper already treats that window as lost.
+    - [V_salvaged n]: interior corruption past the last checkpoint;
+      the [n] records from the first damaged one on were dropped and
+      the trusted prefix rebuilt.  Green/red knowledge may be
+      under-claimed (safe: peers retransmit), but the newest *readable*
+      meta record — even beyond the damage — is adopted, because
+      under-claiming the vulnerable record would be unsafe.
+    - [V_amnesia]: the damage undermines the log's foundation (its head
+      record, or the freshest checkpoint lies at/after the damage): no
+      prefix can be trusted.  The log was discarded; the caller must
+      rejoin through the §5.1 state-transfer path under a fresh
+      incarnation so no stale red/green claims leak back. *)
+type verdict =
+  | V_clean
+  | V_torn_tail of int  (** records truncated *)
+  | V_salvaged of int  (** records dropped from the first corrupt one *)
+  | V_amnesia
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
 type recovered = {
   r_meta : Types.meta option;
   r_green : Action.t list;
@@ -64,7 +92,21 @@ type recovered = {
   r_ongoing : Action.t list;  (** own actions not yet delivered back *)
   r_red_cut : int Node_id.Map.t;
   r_action_index : int;  (** highest own action index ever created *)
+  r_verdict : verdict;
+  r_read_retries : int;  (** transient read errors retried *)
+  r_backoff : Repro_sim.Time.t;  (** total read-retry backoff charged *)
 }
 
 val recover : self:Node_id.t -> t -> recovered
+(** The only sanctioned way to read the log back (the lint rule
+    [no-wlog-recover-outside-persist] enforces it): verifies the
+    framing, applies the verdict policy above — truncating, salvaging
+    or discarding the log as a side effect — and rebuilds the state
+    from whatever prefix survived. *)
+
+val corrupt_nth : t -> int -> bool
+(** Damage the [nth] log record (0-based, append order) — deterministic
+    fault injection for tests and the nemesis driver.  [false] when out
+    of range. *)
+
 val entries_logged : t -> int

@@ -21,6 +21,10 @@ type transfer_payload = {
   td_prim : Types.prim_component;
   td_servers : Node_id.Set.t;
   td_snapshot : Database.snapshot;
+  td_joiner_floor : int;
+      (* the sponsor's red cut for the joiner: an amnesiac rejoiner
+         resumes action numbering above everything the group has seen
+         from its previous life *)
 }
 
 type transfer_msg =
@@ -96,6 +100,11 @@ type t = {
   mutable incarnation : int;
       (* bumped on crash: volatile state was lost, so observers must not
          hold this replica to monotonicity across the boundary *)
+  mutable last_recovery : Persist.verdict option;
+  mutable amnesia_floor : int;
+      (* highest own action index readable in the discarded log of an
+         amnesiac recovery; seeds the next incarnation's id counter *)
+      (* what the most recent recovery from stable storage decided *)
 }
 
 let node t = t.node_id
@@ -113,8 +122,11 @@ let in_primary t = match t.engine with Some e -> Engine.in_primary e | None -> f
 let is_ready t = t.engine <> None && t.up && not t.left
 let is_up t = t.up
 let incarnation t = t.incarnation
+let last_recovery t = t.last_recovery
+let corrupt_log t ~nth = Persist.corrupt_nth t.persist nth
 let greens_applied t = t.greens_applied
 let log_entries t = Persist.entries_logged t.persist
+let log_flushes t = Disk.flushes (Persist.disk t.persist)
 let transfer_chunks_sent t = t.transfer_chunks_sent
 let actions_submitted t = t.actions_submitted
 
@@ -200,6 +212,7 @@ let do_transfer ?(from_chunk = 0) t ~joiner =
         td_prim = Engine.prim_component e;
         td_servers = Engine.known_servers e;
         td_snapshot = snapshot;
+        td_joiner_floor = Engine.red_cut e joiner;
       }
     in
     (* Paced at roughly line rate: streaming, not a burst — a crash or
@@ -319,17 +332,24 @@ let on_transfer_msg t ~src msg =
             t.db <- Database.of_snapshot p.td_snapshot;
             let e =
               Engine.create_from_snapshot ~weights:t.weights
-                ~sim:t.cluster.c_sim ~node:t.node_id ~servers:p.td_servers
+                ~action_floor:(max p.td_joiner_floor t.amnesia_floor)
+                ~sim:t.cluster.c_sim
+                ~node:t.node_id ~servers:p.td_servers
                 ~snapshot:p.td_snapshot
                 ~green_count:tc_version.tv_green_count
                 ~green_line:p.td_green_line ~red_cut:p.td_red_cut
                 ~prim:p.td_prim ~persist:t.persist
                 ~callbacks:(make_callbacks t) ()
             in
+            t.amnesia_floor <- 0;
             adopt_engine t e;
             let ep =
               match t.endpoint with Some ep -> ep | None -> make_endpoint t
             in
+            (* An amnesiac rejoiner's endpoint is still crashed; a fresh
+               joiner's is idle.  [recover] revives the former (and
+               no-ops on the latter), [join] starts the gather. *)
+            Endpoint.recover ep;
             Endpoint.join ep
           | _ -> ()
         end
@@ -383,6 +403,8 @@ let base ?(disk_config = Disk.default_forced) ?(attach_cpu = true)
       left = false;
       audit = None;
       incarnation = 0;
+      last_recovery = None;
+      amnesia_floor = 0;
     }
   in
   Network.register cluster.c_transfer node ~handler:(fun ~src msg ->
@@ -505,25 +527,82 @@ let crash t =
     t.engine <- None
   end
 
+(* Amnesiac recovery (the log's foundation is gone): discard local
+   state and re-enter through the §5.1 join/state-transfer path.  The
+   incarnation is bumped a second time beyond the crash bump — the new
+   life's counters must never be compared against the old one's — and
+   the engine stays absent until a sponsor's snapshot arrives, exactly
+   as for a first-time joiner.  The sponsors already count this node
+   among the known servers, so they transfer directly (CodeSegment 5.1,
+   line 21) without re-ordering a Join action. *)
+let amnesiac_rejoin t =
+  Log.info (fun m ->
+      m "n%d: log unsalvageable, rejoining by state transfer" t.node_id);
+  t.incarnation <- t.incarnation + 1;
+  t.incoming <- None;
+  let sponsors, retry =
+    match t.role with
+    | Joiner { sponsors; retry } -> (sponsors, retry)
+    | Static ->
+      ( Node_id.Set.elements (Node_id.Set.remove t.node_id t.servers),
+        Sim.Time.of_ms 500. )
+  in
+  if sponsors = [] then
+    (* Nobody to transfer from: a lone replica with a destroyed log is
+       unrecoverable; it stays down rather than invent an empty state. *)
+    t.up <- false
+  else begin
+    t.joiner_waiting <- true;
+    joiner_request_loop t sponsors sponsors retry
+  end
+
 let recover t =
   if (not t.up) && not t.left then begin
-    Log.info (fun m -> m "n%d: recovering from stable storage" t.node_id);
     t.up <- true;
     Network.set_up t.cluster.c_transfer t.node_id true;
-    let e, snapshot, greens =
-      Engine.recover ~weights:t.weights ~sim:t.cluster.c_sim ~node:t.node_id
-        ~servers:t.servers ~persist:t.persist ~callbacks:(make_callbacks t) ()
-    in
-    (* Rebuild the database: restore the latest durable checkpoint, then
-       replay the green actions logged after it. *)
-    t.db <-
-      (match snapshot with
-      | Some s -> Database.of_snapshot s
-      | None -> Database.create ());
-    List.iter (fun a -> ignore (Executor.execute t.db a)) greens;
-    t.greens_applied <- t.greens_applied + List.length greens;
-    adopt_engine t e;
-    match t.endpoint with
-    | Some ep -> Endpoint.recover ep
-    | None -> ()
+    if t.joiner_waiting && t.engine = None then begin
+      (* Crashed while still awaiting a snapshot (first join or amnesiac
+         rejoin): there is no durable state to rebuild an engine from —
+         restarting the transfer is the only sound continuation. *)
+      t.last_recovery <- Some Persist.V_amnesia;
+      amnesiac_rejoin t
+    end
+    else begin
+    let r = Persist.recover ~self:t.node_id t.persist in
+    t.last_recovery <- Some r.Persist.r_verdict;
+    Log.info (fun m ->
+        m "n%d: recovering from stable storage (%a)" t.node_id
+          Persist.pp_verdict r.Persist.r_verdict);
+    match r.Persist.r_verdict with
+    | Persist.V_amnesia ->
+      t.amnesia_floor <- max t.amnesia_floor r.Persist.r_action_index;
+      amnesiac_rejoin t
+    | Persist.V_clean | Persist.V_torn_tail _ | Persist.V_salvaged _ ->
+      let e, snapshot, greens =
+        Engine.recover ~weights:t.weights ~recovered:r ~sim:t.cluster.c_sim
+          ~node:t.node_id ~servers:t.servers ~persist:t.persist
+          ~callbacks:(make_callbacks t) ()
+      in
+      (* Rebuild the database: restore the latest durable checkpoint, then
+         replay the green actions logged after it. *)
+      t.db <-
+        (match snapshot with
+        | Some s -> Database.of_snapshot s
+        | None -> Database.create ());
+      List.iter (fun a -> ignore (Executor.execute t.db a)) greens;
+      t.greens_applied <- t.greens_applied + List.length greens;
+      adopt_engine t e;
+      let rejoin () =
+        match t.endpoint with
+        | Some ep -> if t.up && not t.left then Endpoint.recover ep
+        | None -> ()
+      in
+      (* Transient read errors charged their backoff: the node comes
+         back on the network only once the log has actually been read. *)
+      if Sim.Time.to_us r.Persist.r_backoff > 0 then
+        ignore
+          (Sim.Engine.schedule t.cluster.c_sim ~delay:r.Persist.r_backoff
+             rejoin)
+      else rejoin ()
+    end
   end

@@ -112,14 +112,34 @@ val checkpoint_now : t -> unit
 val log_entries : t -> int
 (** Entries currently in the write-ahead log (observes compaction). *)
 
+val log_flushes : t -> int
+(** Physical flushes the stable storage performed so far (measures the
+    forced-write and group-commit cost of a run, survives crashes). *)
+
 (* --- Failure injection --------------------------------------------- *)
 
 val crash : t -> unit
 (** Loses all volatile state (database included); stable storage
-    retains the durable log prefix. *)
+    retains the durable log prefix — possibly torn or corrupted, per
+    the disk's fault model. *)
 
 val recover : t -> unit
-(** Restarts from stable storage (paper CodeSegment A.13) and rejoins. *)
+(** Restarts from stable storage (paper CodeSegment A.13) and rejoins.
+    Recovery verifies the log's record framing and acts on the verdict:
+    a torn tail is truncated and recovery proceeds in place; interior
+    corruption past the last checkpoint salvages the trusted prefix;
+    anything worse triggers {e amnesiac recovery} — the log is
+    discarded and the replica re-enters through the §5.1 join/state-
+    transfer path under a fresh incarnation, so no stale red/green
+    claims leak back into the group. *)
+
+val last_recovery : t -> Persist.verdict option
+(** What the most recent [recover] decided ([None] before the first). *)
+
+val corrupt_log : t -> nth:int -> bool
+(** Damage the [nth] stable-log record (0-based, append order):
+    deterministic fault injection for tests and the nemesis driver.
+    [false] when out of range. *)
 
 val is_up : t -> bool
 

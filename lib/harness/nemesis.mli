@@ -1,0 +1,67 @@
+open Repro_storage
+
+(** A seeded, randomized fault-schedule driver ("nemesis").
+
+    One run builds a {!World.t} whose disks carry an injectable fault
+    model, keeps a sustained update workload going, and interleaves it
+    with a pseudo-random schedule of crash/restart (with storage
+    faults), network partition/heal, and deterministic disk corruption
+    of down replicas.  The schedule is drawn from its own [SplitMix64]
+    stream, so a seed identifies one reproducible campaign.
+
+    The driver is quorum-aware: it never takes down (or corrupts the
+    log under) more replicas than the cluster can lose while still
+    fielding a majority, so the final heal phase always has a primary
+    component to converge in — what the run asserts is {e safety and
+    convergence under faults}, not behaviour without a quorum.
+
+    After the active phase it heals every partition, recovers every
+    crashed replica (tallying each recovery's {!Repro_core.Persist}
+    verdict), lets the cluster settle, and evaluates both checkers:
+    the global {!Consistency} catalogue with the convergence (liveness)
+    check enabled, and a final sweep of the online repcheck
+    {!Repro_check.Monitor} that observed the whole run. *)
+
+type config = {
+  seed : int;
+  nodes : int;  (** replicas on nodes [0..nodes-1] *)
+  active_ms : float;  (** duration of the fault-injection phase *)
+  settle_ms : float;  (** budget for the final heal-and-settle phase *)
+  faults : Disk.fault_config;  (** fault model of every replica's disk *)
+  checkpoint_every : int option;  (** see {!Repro_core.Replica.create} *)
+}
+
+val default_config : config
+(** 5 nodes, 4 s active phase, 30 s settle budget, moderate fault
+    probabilities (torn tails likely, occasional crash-time corruption
+    and transient read errors), checkpoint every 40 applied actions so
+    salvage-vs-amnesia decisions meet real checkpoints. *)
+
+type outcome = {
+  o_steps : int;  (** schedule steps executed *)
+  o_submitted : int;  (** update transactions submitted *)
+  o_crashes : int;
+  o_recoveries : int;
+  o_corruptions : int;  (** log records damaged by explicit injection *)
+  o_partitions : int;
+  o_heals : int;
+  o_clean : int;  (** recoveries per {!Repro_core.Persist.verdict}... *)
+  o_torn : int;
+  o_salvaged : int;
+  o_amnesia : int;
+  o_ready : int;  (** replicas ready after the settle phase *)
+  o_greens : int;  (** the converged green count (max across replicas) *)
+  o_sweeps : int;  (** monitor sweeps performed during the run *)
+  o_violations : string list;
+      (** rendered monitor + consistency violations; empty on a pass *)
+}
+
+val converged : outcome -> bool
+(** All replicas came back ready and no checker complained. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** A small human-readable table (the CLI's output). *)
+
+val run : ?config:config -> unit -> outcome
+(** Executes one campaign.  Same config (seed included) ⇒ same
+    outcome, bit for bit. *)

@@ -10,6 +10,8 @@ type t = {
   mutable w_nodes : Node_id.t list;
   w_disk_config : Disk.config;
   w_attach_cpu : bool;
+  w_checkpoint_every : int option option;
+      (* [None] = Replica's default; [Some c] = explicit setting *)
   w_quorum_policy : Quorum.policy;
 }
 
@@ -25,16 +27,16 @@ let default_disk =
   { Disk.default_forced with sync_latency = Sim.Time.of_ms 1. }
 
 let make ?(net_config = default_net) ?(params = Repro_gcs.Params.fast)
-    ?(disk_config = default_disk) ?(attach_cpu = false) ?quorum_policy
-    ?(seed = 17) ~n () =
+    ?(disk_config = default_disk) ?(attach_cpu = false) ?checkpoint_every
+    ?quorum_policy ?(seed = 17) ~n () =
   let nodes = List.init n Fun.id in
   let cluster = Replica.make_cluster ~net_config ~params ~seed ~nodes () in
   let replicas = Hashtbl.create n in
   List.iter
     (fun node ->
       let r =
-        Replica.create ~disk_config ~attach_cpu ?quorum_policy ~cluster ~node
-          ~servers:nodes ()
+        Replica.create ~disk_config ~attach_cpu ?checkpoint_every
+          ?quorum_policy ~cluster ~node ~servers:nodes ()
       in
       Hashtbl.replace replicas node r;
       Replica.start r)
@@ -45,6 +47,7 @@ let make ?(net_config = default_net) ?(params = Repro_gcs.Params.fast)
     w_nodes = nodes;
     w_disk_config = disk_config;
     w_attach_cpu = attach_cpu;
+    w_checkpoint_every = checkpoint_every;
     w_quorum_policy =
       Option.value quorum_policy ~default:Quorum.Dynamic_linear;
   }
@@ -63,7 +66,8 @@ let add_joiner t ~node ~sponsors =
   Topology.add_node (topology t) node;
   let r =
     Replica.create_joiner ~disk_config:t.w_disk_config
-      ~attach_cpu:t.w_attach_cpu ~cluster:t.w_cluster ~node ~sponsors ()
+      ~attach_cpu:t.w_attach_cpu ?checkpoint_every:t.w_checkpoint_every
+      ~cluster:t.w_cluster ~node ~sponsors ()
   in
   Hashtbl.replace t.w_replicas node r;
   t.w_nodes <- t.w_nodes @ [ node ];

@@ -13,12 +13,15 @@ val make :
   ?params:Repro_gcs.Params.t ->
   ?disk_config:Disk.config ->
   ?attach_cpu:bool ->
+  ?checkpoint_every:int option ->
   ?quorum_policy:Quorum.policy ->
   ?seed:int ->
   n:int ->
   unit ->
   t
-(** [n] replicas on nodes [0..n-1], started. *)
+(** [n] replicas on nodes [0..n-1], started.  [disk_config] (and its
+    fault model) and [checkpoint_every] apply to every replica,
+    joiners included. *)
 
 val sim : t -> Repro_sim.Engine.t
 val topology : t -> Topology.t

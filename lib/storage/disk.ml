@@ -2,12 +2,30 @@ open Repro_sim
 
 type mode = Forced | Delayed
 
+type fault_config = {
+  torn_tail_on_crash : float;
+  corrupt_on_crash : float;
+  read_error : float;
+  read_retries : int;
+  read_backoff : Time.t;
+}
+
+let no_faults =
+  {
+    torn_tail_on_crash = 0.;
+    corrupt_on_crash = 0.;
+    read_error = 0.;
+    read_retries = 4;
+    read_backoff = Time.of_us 500;
+  }
+
 type config = {
   mode : mode;
   sync_latency : Time.t;
   sync_jitter : float;
   delayed_ack_latency : Time.t;
   delayed_flush_interval : Time.t;
+  faults : fault_config;
 }
 
 let default_forced =
@@ -17,6 +35,7 @@ let default_forced =
     sync_jitter = 0.4;
     delayed_ack_latency = Time.of_us 50;
     delayed_flush_interval = Time.of_ms 100.;
+    faults = no_faults;
   }
 
 let default_delayed = { default_forced with mode = Delayed }
@@ -49,6 +68,15 @@ let create ~engine ~config () =
   }
 
 let mode t = t.config.mode
+let faults t = t.config.faults
+
+(* A probability of zero makes no draw at all, so a fault-free disk
+   consumes exactly the same RNG stream as before the fault model
+   existed (the jitter sequence of seeded runs is unchanged). *)
+let draw t p = p > 0. && Rng.float t.rng 1.0 < p
+let draw_torn_tail t = draw t t.config.faults.torn_tail_on_crash
+let draw_corrupt t = draw t t.config.faults.corrupt_on_crash
+let draw_read_error t = draw t t.config.faults.read_error
 let flushes t = t.flushes
 let last_durable_epoch t = t.durable_epoch
 let write_epoch t = t.write_epoch

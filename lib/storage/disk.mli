@@ -17,6 +17,28 @@ open Repro_sim
 
 type mode = Forced | Delayed
 
+(** The injectable storage fault model.  All probabilities are drawn
+    from the disk's own split of the simulation RNG, so a seeded run
+    yields one reproducible fault schedule; with {!no_faults} (the
+    default) no draw is made at all and behaviour is bit-identical to a
+    fault-free device. *)
+type fault_config = {
+  torn_tail_on_crash : float;
+      (** probability that the record in flight at crash time survives
+          *partially*: it is still present in the recovered log but its
+          checksum no longer verifies (a torn write) *)
+  corrupt_on_crash : float;
+      (** per durable record, probability that a crash flips bits in it
+          (latent sector corruption surfacing at the worst moment) *)
+  read_error : float;
+      (** per read attempt during recovery, probability of a transient
+          I/O error; the reader retries with bounded backoff *)
+  read_retries : int;  (** attempts before a record is declared unreadable *)
+  read_backoff : Time.t;  (** first retry delay; doubles per attempt *)
+}
+
+val no_faults : fault_config
+
 type config = {
   mode : mode;
   sync_latency : Time.t;  (** mean duration of one physical flush *)
@@ -27,11 +49,13 @@ type config = {
           flush train and always pay the worst-case wait. *)
   delayed_ack_latency : Time.t;  (** ack delay in [Delayed] mode *)
   delayed_flush_interval : Time.t;  (** background flush period *)
+  faults : fault_config;
 }
 
 val default_forced : config
 (** 10 ms forced-write latency — calibrated so that the latency experiment
-    lands near the paper's 11.4 ms engine / 19.3 ms 2PC numbers. *)
+    lands near the paper's 11.4 ms engine / 19.3 ms 2PC numbers.
+    Fault-free. *)
 
 val default_delayed : config
 
@@ -39,6 +63,7 @@ type t
 
 val create : engine:Engine.t -> config:config -> unit -> t
 val mode : t -> mode
+val faults : t -> fault_config
 
 val force : t -> (unit -> unit) -> unit
 (** Request durability for everything written so far; the callback fires
@@ -62,3 +87,14 @@ val write_epoch : t -> int
 val note_write : t -> int
 (** Record that an entry was written to the device buffer; returns the
     epoch stamp for the entry. *)
+
+(* --- fault draws (consumed by the write-ahead log) ------------------ *)
+
+val draw_torn_tail : t -> bool
+(** One draw per crash: does the in-flight record survive torn? *)
+
+val draw_corrupt : t -> bool
+(** One draw per durable record at crash time: is it corrupted? *)
+
+val draw_read_error : t -> bool
+(** One draw per read attempt during recovery. *)

@@ -1,16 +1,51 @@
-type 'entry stamped = { entry : 'entry; epoch : int }
+open Repro_sim
+
+(* Record framing: each entry carries a monotonic sequence number and a
+   checksum.  The simulation does not store real bytes, so the checksum
+   is modelled by [sum_ok] — whether the stored checksum would still
+   verify against the record body — flipped by the disk's fault model
+   (torn in-flight writes, crash-time corruption) or by explicit
+   injection. *)
+type 'entry stamped = {
+  entry : 'entry;
+  epoch : int;
+  seq : int;
+  mutable sum_ok : bool;
+  mutable torn : bool; (* damaged as the in-flight record of a crash *)
+}
+
+type verdict =
+  | Clean
+  | Torn_tail of int
+  | Corrupt_interior of int
+
+let pp_verdict ppf = function
+  | Clean -> Format.pp_print_string ppf "clean"
+  | Torn_tail i -> Format.fprintf ppf "torn-tail@%d" i
+  | Corrupt_interior i -> Format.fprintf ppf "corrupt-interior@%d" i
+
+type 'entry recovery = {
+  rv_verdict : verdict;
+  rv_trusted : 'entry list;
+  rv_readable : 'entry list;
+  rv_read_retries : int;
+  rv_backoff : Time.t;
+}
 
 type 'entry t = {
   disk : Disk.t;
   mutable entries : 'entry stamped list; (* newest first *)
+  mutable next_seq : int; (* never reset: survives compaction and reset *)
 }
 
-let create ~engine:_ ~disk () = { disk; entries = [] }
+let create ~engine:_ ~disk () = { disk; entries = []; next_seq = 0 }
 let disk t = t.disk
 
 let append t entry =
   let epoch = Disk.note_write t.disk in
-  t.entries <- { entry; epoch } :: t.entries
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.entries <- { entry; epoch; seq; sum_ok = true; torn = false } :: t.entries
 
 let sync t k = Disk.force t.disk k
 
@@ -21,10 +56,115 @@ let append_sync t entry k =
 let crash t =
   Disk.crash t.disk;
   let durable = Disk.last_durable_epoch t.disk in
-  t.entries <- List.filter (fun s -> s.epoch <= durable) t.entries
+  let survivors, lost =
+    List.partition (fun s -> s.epoch <= durable) t.entries
+  in
+  (* The oldest unsynced record is the one the platter was writing when
+     the crash hit: it may survive torn (present but failing its
+     checksum).  Everything younger never reached the device. *)
+  let torn_survivor =
+    match List.rev lost with
+    | oldest :: _ when Disk.draw_torn_tail t.disk ->
+      oldest.sum_ok <- false;
+      oldest.torn <- true;
+      [ oldest ]
+    | _ -> []
+  in
+  (* Crash-time corruption of durable records, oldest first so the
+     seeded draw order is stable. *)
+  List.iter
+    (fun s -> if Disk.draw_corrupt t.disk then s.sum_ok <- false)
+    (List.rev survivors);
+  t.entries <- torn_survivor @ survivors
 
-let recover t = List.rev_map (fun s -> s.entry) t.entries
+(* One framed read: transient errors are retried with exponential
+   backoff up to the disk's budget; a record still unreadable after that
+   counts as damaged (we cannot tell a dying sector from a corrupt one). *)
+let read_record t ~retries ~backoff =
+  let f = Disk.faults t.disk in
+  let rec attempt n delay =
+    if Disk.draw_read_error t.disk then
+      if n + 1 >= f.Disk.read_retries then false
+      else begin
+        incr retries;
+        backoff := Time.add !backoff ~span:delay;
+        attempt (n + 1) (Time.scale delay 2.)
+      end
+    else true
+  in
+  attempt 0 f.Disk.read_backoff
+
+let recover t =
+  let retries = ref 0 in
+  let backoff = ref Time.zero in
+  let records =
+    List.rev_map
+      (fun s ->
+        let readable =
+          s.sum_ok && read_record t ~retries ~backoff
+        in
+        (s, readable))
+      t.entries
+  in
+  (* Verify the chain oldest-first: a record is damaged when its
+     checksum fails, it is unreadable, or its sequence number does not
+     advance the chain (reordered or duplicated frame). *)
+  let damaged = ref [] in
+  let prev_seq = ref min_int in
+  List.iteri
+    (fun i (s, readable) ->
+      if (not readable) || s.seq <= !prev_seq then damaged := i :: !damaged
+      else prev_seq := s.seq)
+    records;
+  let readable_entries =
+    List.filter_map (fun (s, readable) -> if readable then Some s.entry else None)
+      records
+  in
+  let verdict =
+    match List.rev !damaged with
+    | [] -> Clean
+    | first :: _ ->
+      let all_after_damaged =
+        List.for_all (fun (i, _) -> i < first || List.mem i !damaged)
+          (List.mapi (fun i r -> (i, r)) records)
+      in
+      let first_is_torn =
+        match List.nth_opt records first with
+        | Some (s, _) -> s.torn
+        | None -> false
+      in
+      if first_is_torn && all_after_damaged then Torn_tail first
+      else Corrupt_interior first
+  in
+  let trusted =
+    match verdict with
+    | Clean -> List.map (fun (s, _) -> s.entry) records
+    | Torn_tail first | Corrupt_interior first ->
+      List.filteri (fun i _ -> i < first) records
+      |> List.map (fun (s, _) -> s.entry)
+  in
+  {
+    rv_verdict = verdict;
+    rv_trusted = trusted;
+    rv_readable = readable_entries;
+    rv_read_retries = !retries;
+    rv_backoff = !backoff;
+  }
+
 let length t = List.length t.entries
+
+let truncate_damaged t ~from =
+  t.entries <-
+    List.rev (List.filteri (fun i _ -> i < from) (List.rev t.entries))
+
+let reset t = t.entries <- []
+
+let corrupt t ~nth =
+  match List.nth_opt (List.rev t.entries) nth with
+  | Some s ->
+    s.sum_ok <- false;
+    true
+  | None -> false
 
 let compact t ~keep =
   (* [keep] may be stateful and expects append order (oldest first). *)

@@ -14,6 +14,13 @@ let make ?(config = forced_nojitter) () =
   let disk = Disk.create ~engine ~config () in
   (engine, disk)
 
+(* The verified prefix, as the old verdict-less recover returned it. *)
+let entries log = (Wlog.recover log).Wlog.rv_trusted
+let verdict log = (Wlog.recover log).Wlog.rv_verdict
+
+let verdict_t : Wlog.verdict Alcotest.testable =
+  Alcotest.testable Wlog.pp_verdict (fun a b -> a = b)
+
 let test_forced_write_latency () =
   let engine, disk = make () in
   let done_at = ref Time.zero in
@@ -93,7 +100,7 @@ let test_wlog_append_recover () =
   Wlog.sync log (fun () -> synced := true);
   Engine.run engine;
   Alcotest.(check bool) "synced" true !synced;
-  Alcotest.(check (list string)) "recover order" [ "a"; "b" ] (Wlog.recover log)
+  Alcotest.(check (list string)) "recover order" [ "a"; "b" ] (entries log)
 
 let test_wlog_crash_loses_unsynced () =
   let engine, disk = make () in
@@ -102,7 +109,7 @@ let test_wlog_crash_loses_unsynced () =
   Engine.run engine;
   Wlog.append log "volatile";
   Wlog.crash log;
-  Alcotest.(check (list string)) "only durable survives" [ "durable" ] (Wlog.recover log)
+  Alcotest.(check (list string)) "only durable survives" [ "durable" ] (entries log)
 
 let test_wlog_crash_during_flush () =
   let engine, disk = make () in
@@ -113,7 +120,7 @@ let test_wlog_crash_during_flush () =
   ignore (Engine.schedule engine ~delay:(Time.of_ms 5.) (fun () -> Wlog.crash log));
   Engine.run engine;
   Alcotest.(check bool) "ack never fired" false !acked;
-  Alcotest.(check (list string)) "entry lost" [] (Wlog.recover log)
+  Alcotest.(check (list string)) "entry lost" [] (entries log)
 
 let test_wlog_delayed_mode_can_lose_acked () =
   let engine, disk = make ~config:delayed_nojitter () in
@@ -124,7 +131,7 @@ let test_wlog_delayed_mode_can_lose_acked () =
   ignore (Engine.schedule engine ~delay:(Time.of_ms 10.) (fun () -> Wlog.crash log));
   Engine.run ~until:(Time.of_ms 20.) engine;
   Alcotest.(check bool) "acked fast" true !acked;
-  Alcotest.(check (list string)) "acked write lost on crash" [] (Wlog.recover log)
+  Alcotest.(check (list string)) "acked write lost on crash" [] (entries log)
 
 let test_wlog_delayed_mode_survives_after_flush () =
   let engine, disk = make ~config:delayed_nojitter () in
@@ -135,7 +142,103 @@ let test_wlog_delayed_mode_survives_after_flush () =
   Engine.run ~until:(Time.of_ms 400.) engine;
   Alcotest.(check (list string))
     "entry survives after background flush" [ "eventually-safe" ]
-    (Wlog.recover log)
+    (entries log)
+
+(* --- record framing and fault verdicts ---------------------------- *)
+
+let faulty ?(torn = 0.) ?(corrupt = 0.) ?(read_error = 0.) ?(read_retries = 4) () =
+  {
+    forced_nojitter with
+    Disk.faults =
+      {
+        Disk.no_faults with
+        torn_tail_on_crash = torn;
+        corrupt_on_crash = corrupt;
+        read_error;
+        read_retries;
+      };
+  }
+
+let test_wlog_torn_tail_verdict () =
+  let engine, disk = make ~config:(faulty ~torn:1.0 ()) () in
+  let log = Wlog.create ~engine ~disk () in
+  Wlog.append_sync log "a" ignore;
+  Engine.run engine;
+  Wlog.append log "b";
+  (* "b" is in flight; with certain torn-tail injection it survives the
+     crash as a present-but-unverifiable record. *)
+  Wlog.crash log;
+  let rv = Wlog.recover log in
+  Alcotest.check verdict_t "torn tail at 1" (Wlog.Torn_tail 1) rv.Wlog.rv_verdict;
+  Alcotest.(check (list string)) "trusted prefix" [ "a" ] rv.Wlog.rv_trusted;
+  Alcotest.(check (list string)) "readable = trusted" [ "a" ] rv.Wlog.rv_readable;
+  (* Truncating the damage restores a clean log. *)
+  Wlog.truncate_damaged log ~from:1;
+  Alcotest.check verdict_t "clean after truncate" Wlog.Clean (verdict log);
+  Alcotest.(check (list string)) "prefix intact" [ "a" ] (entries log)
+
+let test_wlog_corrupt_interior () =
+  let engine, disk = make () in
+  let log = Wlog.create ~engine ~disk () in
+  Wlog.append log "a";
+  Wlog.append log "b";
+  Wlog.append_sync log "c" ignore;
+  Engine.run engine;
+  Alcotest.(check bool) "injection in range" true (Wlog.corrupt log ~nth:1);
+  let rv = Wlog.recover log in
+  Alcotest.check verdict_t "interior damage at 1" (Wlog.Corrupt_interior 1)
+    rv.Wlog.rv_verdict;
+  Alcotest.(check (list string)) "trusted stops at damage" [ "a" ] rv.Wlog.rv_trusted;
+  Alcotest.(check (list string))
+    "readable skips the bad record" [ "a"; "c" ] rv.Wlog.rv_readable;
+  Alcotest.(check bool) "out of range" false (Wlog.corrupt log ~nth:7)
+
+let test_wlog_crash_corruption () =
+  let engine, disk = make ~config:(faulty ~corrupt:1.0 ()) () in
+  let log = Wlog.create ~engine ~disk () in
+  Wlog.append log "a";
+  Wlog.append_sync log "b" ignore;
+  Engine.run engine;
+  Wlog.crash log;
+  (* Every durable record was corrupted at crash time: damage starts at
+     the head, so nothing is trustworthy. *)
+  let rv = Wlog.recover log in
+  Alcotest.check verdict_t "head corruption" (Wlog.Corrupt_interior 0)
+    rv.Wlog.rv_verdict;
+  Alcotest.(check (list string)) "nothing trusted" [] rv.Wlog.rv_trusted;
+  Alcotest.(check (list string)) "nothing readable" [] rv.Wlog.rv_readable
+
+let test_wlog_read_retry_exhaustion () =
+  let engine, disk =
+    make ~config:(faulty ~read_error:1.0 ~read_retries:3 ()) ()
+  in
+  let log = Wlog.create ~engine ~disk () in
+  Wlog.append log "a";
+  Wlog.append_sync log "b" ignore;
+  Engine.run engine;
+  let rv = Wlog.recover log in
+  (* Each record burns the full retry budget: 2 retries with 500 us then
+     1000 us of backoff, then it is declared unreadable. *)
+  Alcotest.(check int) "two retries per record" 4 rv.Wlog.rv_read_retries;
+  Alcotest.(check int) "exponential backoff total" 3_000
+    (Time.to_us rv.Wlog.rv_backoff);
+  Alcotest.check verdict_t "unreadable log" (Wlog.Corrupt_interior 0)
+    rv.Wlog.rv_verdict
+
+let test_wlog_seq_survives_compaction () =
+  let engine, disk = make () in
+  let log = Wlog.create ~engine ~disk () in
+  Wlog.append log "a";
+  Wlog.append_sync log "b" ignore;
+  Engine.run engine;
+  Wlog.compact log ~keep:(fun e -> e = "b");
+  Wlog.append_sync log "c" ignore;
+  Engine.run engine;
+  (* Sequence numbers never restart, so the chain across a compaction
+     boundary still verifies as strictly increasing. *)
+  Alcotest.check verdict_t "clean across compaction" Wlog.Clean (verdict log);
+  Alcotest.(check (list string)) "compacted prefix + new tail" [ "b"; "c" ]
+    (entries log)
 
 let test_stable_cell_roundtrip () =
   let engine, disk = make () in
@@ -186,6 +289,13 @@ let () =
             test_wlog_delayed_mode_can_lose_acked;
           Alcotest.test_case "delayed mode survives after flush" `Quick
             test_wlog_delayed_mode_survives_after_flush;
+          Alcotest.test_case "torn tail verdict" `Quick test_wlog_torn_tail_verdict;
+          Alcotest.test_case "corrupt interior" `Quick test_wlog_corrupt_interior;
+          Alcotest.test_case "crash corruption" `Quick test_wlog_crash_corruption;
+          Alcotest.test_case "read retry exhaustion" `Quick
+            test_wlog_read_retry_exhaustion;
+          Alcotest.test_case "seq survives compaction" `Quick
+            test_wlog_seq_survives_compaction;
         ] );
       ( "stable-cell",
         [
