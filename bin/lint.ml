@@ -1,320 +1,225 @@
-(* repcheck lint: project-specific static checks over the typed AST.
+(* The static-analysis driver (see lib/analysis for the framework).
 
-   Reads the .cmt files dune produced for the libraries under the given
-   roots (default: lib) and enforces three rules that reviews kept
-   re-litigating:
+   Loads the .cmt typed ASTs dune produced for the units under the
+   given roots (default: lib) and runs, on one shared traversal
+   infrastructure:
 
-   1. no-poly-id-compare — polymorphic [=] / [<>] / [compare] (and the
-      other Stdlib comparison operators) must not be applied to the
-      abstract identifier types [Node_id.t], [Action.Id.t], [Conf_id.t].
-      Identifier representations are an implementation detail; use the
-      dedicated [equal] / [compare] of the owning module.
+   - the pattern-level rule catalogue (Repro_analysis.Rules);
+   - interprocedural effect inference (Repro_analysis.Effects) feeding
+     the write-ahead ordering analysis (Repro_analysis.Writeahead):
+     every GCS send in the core must be dominated by a stable-storage
+     force (paper §4, the vulnerable-record discipline);
+   - spec drift (Repro_analysis.Specdrift): the engine_state transition
+     graph statically extracted from the core, diffed against the
+     Figure 4 table exported by Repro_check.Spec — transitions in code
+     but not in spec (or vice versa) fail the build.
 
-   2. no-engine-state-wildcard — [match] on [Types.engine_state] must
-      enumerate its constructors.  A [_ ->] branch silently absorbs any
-      state later added to the protocol state machine; the compiler's
-      exhaustiveness check is the safety net and a wildcard disables it.
+   Output is deterministic: findings are deduplicated and totally
+   ordered, and --report writes a SARIF-lite JSON that is byte-
+   identical across runs over the same tree.  --baseline grandfathers
+   known findings: the exit code then reflects *new* findings only.
 
-   3. no-failwith-in-core — [failwith] and [assert false] are forbidden
-      inside lib/core: the replication engine must degrade through its
-      protocol states, not abort.  Deliberate exceptions are allowed by
-      tagging the line (or the line above) with [(* repcheck: allow *)].
+   Runs from the build context root (dune executes it in
+   _build/default), so the .cmt files and the copied sources are
+   reachable by the relative paths recorded in the cmts.
 
-   4. no-ambient-nondeterminism — [Stdlib.Random] and wall-clock reads
-      ([Unix.gettimeofday] / [Unix.time]) are forbidden outside lib/sim.
-      Reproducibility (and the model checker's deterministic replay)
-      depends on all randomness flowing from [Repro_sim.Rng] and all
-      time from the virtual clock.
+   NOTE: this executable links both compiler-libs and the project
+   libraries; project modules are referenced fully qualified
+   (Repro_check.Spec) — never [open]ed — because compiler-libs has
+   top-level modules named Types, Path and Location too. *)
 
-   5. no-poly-id-hash — [Hashtbl.hash] (and [seeded_hash]) must not be
-      applied to the abstract identifier types [Node_id.t], [Conf_id.t],
-      [Action.Id.t]: a representation change would silently reshuffle
-      every hash-keyed structure.  Use the owning module's [hash].
+module A = Repro_analysis
 
-   6. no-wlog-recover-outside-persist — [Wlog.recover] may only be
-      called from lib/core/persist.ml.  Recovery returns a typed damage
-      verdict (clean / torn tail / corrupt interior) whose policy —
-      truncate, salvage, or amnesiac rejoin — lives in [Persist.recover];
-      a direct call would silently trust a damaged log.
+type drift_mode = Drift_full | Drift_code_only | Drift_off
 
-   Runs from the build context root (dune executes it in _build/default),
-   so both the .cmt files and the copied sources are reachable by the
-   relative paths recorded in the cmt. *)
+type config = {
+  mutable roots : string list;
+  mutable core : string list;
+  mutable report : string option;
+  mutable baseline : string option;
+  mutable drift : drift_mode;
+  mutable exit_zero : bool;
+  mutable check_baseline : (string * string) option; (* baseline, report *)
+}
 
-let allow_tag = "repcheck: allow"
+let usage () =
+  prerr_endline
+    "usage: lint.exe [--core PREFIX]... [--drift full|code-only|off]\n\
+    \                [--report FILE] [--baseline FILE] [--exit-zero]\n\
+    \                [--check-baseline BASELINE --against REPORT] [ROOT]...";
+  exit 2
 
-let id_type_suffixes =
-  [ "Node_id.t"; "Action.Id.t"; "Conf_id.t"; "Id.t" ]
-
-let poly_compare_names =
-  [ "="; "<>"; "=="; "!="; "compare"; "<"; ">"; "<="; ">=" ]
-
-let violations : (Location.t * string) list ref = ref []
-
-let report loc fmt =
-  Format.kasprintf
-    (fun msg ->
-      (* one application can trip on both arguments: report it once *)
-      if not (List.mem (loc, msg) !violations) then
-        violations := (loc, msg) :: !violations)
-    fmt
-
-(* --- source-line suppression --------------------------------------- *)
-
-let source_lines : (string, string array) Hashtbl.t = Hashtbl.create 8
-
-let lines_of_file fname =
-  match Hashtbl.find_opt source_lines fname with
-  | Some l -> l
-  | None ->
-    let l =
-      try
-        let ic = open_in fname in
-        let acc = ref [] in
-        (try
-           while true do
-             acc := input_line ic :: !acc
-           done
-         with End_of_file -> close_in ic);
-        Array.of_list (List.rev !acc)
-      with Sys_error _ -> [||]
-    in
-    Hashtbl.replace source_lines fname l;
-    l
-
-let allowed loc =
-  let fname = loc.Location.loc_start.Lexing.pos_fname in
-  let line = loc.Location.loc_start.Lexing.pos_lnum in
-  let lines = lines_of_file fname in
-  let has n =
-    n >= 1 && n <= Array.length lines
-    &&
-    let s = lines.(n - 1) in
-    let tag_len = String.length allow_tag and len = String.length s in
-    let rec scan i =
-      i + tag_len <= len && (String.sub s i tag_len = allow_tag || scan (i + 1))
-    in
-    scan 0
+let parse_args () =
+  let cfg =
+    {
+      roots = [];
+      core = [];
+      report = None;
+      baseline = None;
+      drift = Drift_full;
+      exit_zero = false;
+      check_baseline = None;
+    }
   in
-  has line || has (line - 1)
-
-(* --- type and path predicates -------------------------------------- *)
-
-let rec path_name p =
-  match p with
-  | Path.Pident id -> Ident.name id
-  | Path.Pdot (p, s) -> path_name p ^ "." ^ s
-  | Path.Papply (a, b) -> path_name a ^ "(" ^ path_name b ^ ")"
-  | Path.Pextra_ty (p, _) -> path_name p
-
-(* Strip the dune mangling: "Repro_net__Node_id.t" -> "Node_id.t". *)
-let demangle name =
-  let strip part =
-    let len = String.length part in
-    let rec find i =
-      if i + 1 >= len then None
-      else if part.[i] = '_' && part.[i + 1] = '_' then
-        Some (String.sub part (i + 2) (len - i - 2))
-      else find (i + 1)
-    in
-    match find 0 with Some tail when tail <> "" -> tail | _ -> part
+  let against = ref None and check = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--core" :: v :: rest ->
+      cfg.core <- cfg.core @ [ v ];
+      go rest
+    | "--report" :: v :: rest ->
+      cfg.report <- Some v;
+      go rest
+    | "--baseline" :: v :: rest ->
+      cfg.baseline <- Some v;
+      go rest
+    | "--check-baseline" :: v :: rest ->
+      check := Some v;
+      go rest
+    | "--against" :: v :: rest ->
+      against := Some v;
+      go rest
+    | "--drift" :: v :: rest ->
+      (cfg.drift <-
+         (match v with
+         | "full" -> Drift_full
+         | "code-only" -> Drift_code_only
+         | "off" -> Drift_off
+         | _ -> usage ()));
+      go rest
+    | "--exit-zero" :: rest ->
+      cfg.exit_zero <- true;
+      go rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+      Printf.eprintf "lint: unknown option %s\n" arg;
+      usage ()
+    | root :: rest ->
+      cfg.roots <- cfg.roots @ [ root ];
+      go rest
   in
-  String.concat "." (List.map strip (String.split_on_char '.' name))
+  go (List.tl (Array.to_list Sys.argv));
+  (match (!check, !against) with
+  | Some b, Some r -> cfg.check_baseline <- Some (b, r)
+  | None, None -> ()
+  | _ -> usage ());
+  if cfg.roots = [] then cfg.roots <- [ "lib" ];
+  if cfg.core = [] then cfg.core <- [ "lib/core/" ];
+  cfg
 
-let is_id_type ty =
-  match Types.get_desc ty with
-  | Types.Tconstr (p, _, _) ->
-    let name = demangle (path_name p) in
-    List.exists
-      (fun suffix ->
-        name = suffix
-        || (String.length name > String.length suffix
-           && String.sub name
-                (String.length name - String.length suffix - 1)
-                (String.length suffix + 1)
-              = "." ^ suffix))
-      id_type_suffixes
-  | _ -> false
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
 
-let is_engine_state ty =
-  match Types.get_desc ty with
-  | Types.Tconstr (p, _, _) ->
-    let name = demangle (path_name p) in
-    name = "engine_state" || Filename.check_suffix name ".engine_state"
-  | _ -> false
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
 
-let stdlib_ident p names =
-  match p with
-  | Path.Pdot (Path.Pident m, s) -> Ident.name m = "Stdlib" && List.mem s names
-  | _ -> false
+let load_report path =
+  match A.Diag.parse_report (read_file path) with
+  | findings -> findings
+  | exception Sys_error msg ->
+    Printf.eprintf "lint: cannot read %s: %s\n" path msg;
+    exit 2
+  | exception A.Diag.Parse_error msg ->
+    Printf.eprintf "lint: cannot parse %s: %s\n" path msg;
+    exit 2
 
-let has_prefix prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
+(* --- spec drift wiring ----------------------------------------------- *)
 
-let is_ambient_nondet p =
-  let n = demangle (path_name p) in
-  has_prefix "Stdlib.Random." n
-  || has_prefix "Random." n
-  || n = "Unix.gettimeofday" || n = "Unix.time"
+let spec_loc = Location.in_file "lib/check/spec.ml"
 
-let is_poly_hash p =
-  let n = demangle (path_name p) in
-  List.mem n
-    [
-      "Hashtbl.hash";
-      "Stdlib.Hashtbl.hash";
-      "Hashtbl.seeded_hash";
-      "Stdlib.Hashtbl.seeded_hash";
-    ]
-
-let is_wlog_recover p =
-  let n = demangle (path_name p) in
-  n = "Wlog.recover" || Filename.check_suffix n ".Wlog.recover"
-
-(* --- the iterator --------------------------------------------------- *)
-
-let in_core = ref false
-let in_sim = ref false
-let cur_src = ref ""
-
-let check_expr (it : Tast_iterator.iterator) (e : Typedtree.expression) =
-  (match e.exp_desc with
-  | Typedtree.Texp_apply
-      ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, args)
-    when stdlib_ident p poly_compare_names ->
-    let op =
-      match p with Path.Pdot (_, s) -> s | _ -> assert false
-    in
+let run_drift cfg (eff : A.Effects.t) sink =
+  let state_name = Repro_check.Spec.state_name in
+  let all_states = List.map state_name Repro_check.Spec.all_states in
+  let code = A.Specdrift.extract eff ~core:cfg.core ~all_states in
+  let code_pairs = List.map fst code in
+  let spec_pairs =
+    A.Specdrift.expand_spec ~all_states
+      (List.map
+         (fun (from_, target) ->
+           (Option.map state_name from_, state_name target))
+         Repro_check.Spec.edges)
+  in
+  let code_only, spec_only = A.Specdrift.diff ~spec_pairs ~code_pairs in
+  List.iter
+    (fun (from_, target) ->
+      let loc =
+        match List.assoc_opt (from_, target) code with
+        | Some loc -> loc
+        | None -> spec_loc
+      in
+      A.Diag.addf sink ~rule:"spec-drift" ~loc
+        "transition %s -> %s is taken in code but is not an edge of the \
+         Fig. 4 specification (lib/check/spec.ml); either the engine or \
+         the spec table is wrong"
+        from_ target)
+    code_only;
+  if cfg.drift = Drift_full then
     List.iter
-      (function
-        | _, Some (arg : Typedtree.expression) when is_id_type arg.exp_type ->
-          if not (allowed e.exp_loc) then
-            report e.exp_loc
-              "no-poly-id-compare: polymorphic (%s) applied to abstract id \
-               type %s; use the module's equal/compare"
-              op
-              (match Types.get_desc arg.exp_type with
-              | Types.Tconstr (p, _, _) -> demangle (path_name p)
-              | _ -> "?")
-        | _ -> ())
-      args
-  | Typedtree.Texp_match (scrut, cases, _) when is_engine_state scrut.exp_type
-    ->
-    List.iter
-      (fun (c : Typedtree.computation Typedtree.case) ->
-        let is_wild =
-          match c.Typedtree.c_lhs.Typedtree.pat_desc with
-          | Typedtree.Tpat_value arg -> (
-            match
-              (arg :> Typedtree.value Typedtree.general_pattern)
-                .Typedtree.pat_desc
-            with
-            | Typedtree.Tpat_any -> true
-            | _ -> false)
-          | _ -> false
-        in
-        if is_wild && not (allowed c.Typedtree.c_lhs.Typedtree.pat_loc) then
-          report c.Typedtree.c_lhs.Typedtree.pat_loc
-            "no-engine-state-wildcard: match on engine_state uses a _ branch; \
-             enumerate the states so new ones fail exhaustiveness")
-      cases
-  | Typedtree.Texp_apply
-      ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, args)
-    when is_poly_hash p ->
-    List.iter
-      (function
-        | _, Some (arg : Typedtree.expression) when is_id_type arg.exp_type ->
-          if not (allowed e.exp_loc) then
-            report e.exp_loc
-              "no-poly-id-hash: Hashtbl.hash applied to abstract id type %s; \
-               use the owning module's hash"
-              (match Types.get_desc arg.exp_type with
-              | Types.Tconstr (p, _, _) -> demangle (path_name p)
-              | _ -> "?")
-        | _ -> ())
-      args
-  | Typedtree.Texp_ident (p, _, _)
-    when is_wlog_recover p
-         && !cur_src <> "lib/core/persist.ml"
-         && !cur_src <> "lib/storage/wlog.ml"
-         && not (allowed e.exp_loc) ->
-    report e.exp_loc
-      "no-wlog-recover-outside-persist: Wlog.recover called from %s; the \
-       damage-verdict policy lives in Repro_core.Persist.recover — go \
-       through it"
-      !cur_src
-  | Typedtree.Texp_ident (p, _, _)
-    when (not !in_sim) && is_ambient_nondet p && not (allowed e.exp_loc) ->
-    report e.exp_loc
-      "no-ambient-nondeterminism: %s outside lib/sim; draw randomness from \
-       Repro_sim.Rng and time from the virtual clock"
-      (demangle (path_name p))
-  | Typedtree.Texp_apply ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, _)
-    when !in_core
-         && stdlib_ident p [ "failwith" ]
-         && not (allowed e.exp_loc) ->
-    report e.exp_loc
-      "no-failwith-in-core: lib/core must not abort; return through the \
-       protocol state machine or tag the line with (* %s *)"
-      allow_tag
-  | Typedtree.Texp_assert
-      ({ exp_desc = Typedtree.Texp_construct (_, { cstr_name = "false"; _ }, _); _ }, loc)
-    when !in_core && not (allowed loc) ->
-    report loc
-      "no-failwith-in-core: assert false in lib/core; handle the case or tag \
-       the line with (* %s *)"
-      allow_tag
-  | _ -> ());
-  Tast_iterator.default_iterator.expr it e
+      (fun (from_, target) ->
+        A.Diag.addf sink ~rule:"spec-drift" ~loc:spec_loc
+          "Fig. 4 edge %s -> %s has no corresponding transition in the core \
+           (%s); dead spec edges hide refinement gaps"
+          from_ target
+          (String.concat " " cfg.core))
+      spec_only
 
-let iterator = { Tast_iterator.default_iterator with expr = check_expr }
-
-(* --- cmt walking ----------------------------------------------------- *)
-
-let rec find_cmts dir =
-  match Sys.readdir dir with
-  | exception Sys_error _ -> []
-  | entries ->
-    Array.fold_left
-      (fun acc entry ->
-        let path = Filename.concat dir entry in
-        if Sys.is_directory path then find_cmts path @ acc
-        else if Filename.check_suffix entry ".cmt" then path :: acc
-        else acc)
-      [] entries
-
-let lint_cmt path =
-  match Cmt_format.read_cmt path with
-  | exception _ -> ()
-  | infos -> (
-    match (infos.Cmt_format.cmt_annots, infos.Cmt_format.cmt_sourcefile) with
-    | Cmt_format.Implementation tstr, Some src ->
-      in_core :=
-        String.length src >= 9 && String.sub src 0 9 = "lib/core/";
-      in_sim := String.length src >= 8 && String.sub src 0 8 = "lib/sim/";
-      cur_src := src;
-      iterator.Tast_iterator.structure iterator tstr
-    | _ -> ())
+(* --- main ------------------------------------------------------------- *)
 
 let () =
-  let roots =
-    match Array.to_list Sys.argv with [] | [ _ ] -> [ "lib" ] | _ :: r -> r
-  in
-  let cmts = List.concat_map find_cmts roots in
+  let cfg = parse_args () in
+  (* Pure report-vs-baseline comparison: no cmt analysis. *)
+  (match cfg.check_baseline with
+  | Some (baseline_file, report_file) ->
+    let baseline = load_report baseline_file in
+    let report = load_report report_file in
+    let fresh = A.Diag.new_findings ~baseline report in
+    if fresh = [] then begin
+      Printf.printf "lint: no findings beyond the baseline (%d grandfathered)\n"
+        (List.length report);
+      exit 0
+    end
+    else begin
+      List.iter (fun d -> Format.eprintf "%a@.@." A.Diag.pp d) fresh;
+      Printf.eprintf "lint: %d new finding(s) not in %s\n" (List.length fresh)
+        baseline_file;
+      exit 1
+    end
+  | None -> ());
+  let cmts, units = A.Cmt_load.load_roots cfg.roots in
   if cmts = [] then begin
     Printf.eprintf "lint: no .cmt files under %s (build the libraries first)\n"
-      (String.concat " " roots);
+      (String.concat " " cfg.roots);
     exit 2
   end;
-  List.iter lint_cmt (List.sort compare cmts);
-  match List.rev !violations with
-  | [] ->
-    Printf.printf "lint: %d compilation units clean\n" (List.length cmts)
-  | vs ->
-    List.iter
-      (fun (loc, msg) ->
-        Format.eprintf "%a@.Error: %s@.@." Location.print_loc loc msg)
-      vs;
-    Printf.eprintf "lint: %d violation(s)\n" (List.length vs);
-    exit 1
+  let graph = A.Callgraph.build units in
+  let sink = A.Diag.create_sink () in
+  A.Rules.run ~core:cfg.core graph sink;
+  let eff = A.Effects.infer graph in
+  A.Writeahead.run eff ~core:cfg.core sink;
+  if cfg.drift <> Drift_off then run_drift cfg eff sink;
+  let diags = A.Diag.to_list sink in
+  (match cfg.report with
+  | Some path -> write_file path (A.Diag.report_json diags)
+  | None -> ());
+  let effective =
+    match cfg.baseline with
+    | Some path -> A.Diag.new_findings ~baseline:(load_report path) diags
+    | None -> diags
+  in
+  match (diags, effective) with
+  | [], _ ->
+    Printf.printf "lint: %d compilation units clean\n" (List.length units)
+  | _, [] ->
+    List.iter (fun d -> Format.eprintf "%a@.@." A.Diag.pp d) diags;
+    Printf.printf "lint: %d finding(s), all grandfathered in the baseline\n"
+      (List.length diags)
+  | _, fresh ->
+    List.iter (fun d -> Format.eprintf "%a@.@." A.Diag.pp d) diags;
+    Printf.eprintf "lint: %d finding(s), %d new\n" (List.length diags)
+      (List.length fresh);
+    if not cfg.exit_zero then exit 1

@@ -419,6 +419,31 @@ let mcheck_replay_cmd =
           exits non-zero if the violation does not reproduce.")
     Term.(const mcheck_replay $ file_t $ nodes_t $ mutate_t)
 
+let spec () =
+  (* The Figure 4 table as lib/check/spec.ml declares it — the same
+     table the online checker enforces and the spec-drift analysis
+     (dune build @analyze) diffs the engine against. *)
+  Format.fprintf ppf "Figure 4 engine_state transitions (lib/check/spec.ml):@.";
+  List.iter
+    (fun (from_, target) ->
+      Format.fprintf ppf "  %-16s -> %s@."
+        (match from_ with
+        | Some s -> Repro_check.Spec.state_name s
+        | None -> "*")
+        (Repro_check.Spec.state_name target))
+    Repro_check.Spec.edges;
+  Format.fprintf ppf "(%d edges over %d states; * = any state)@."
+    (List.length Repro_check.Spec.edges)
+    (List.length Repro_check.Spec.all_states)
+
+let spec_cmd =
+  Cmd.v
+    (Cmd.info "spec"
+       ~doc:
+         "Print the Figure 4 state-machine specification the checker and \
+          the static spec-drift analysis enforce.")
+    Term.(const spec $ const ())
+
 let main_cmd =
   let doc =
     "Reproduction of 'From Total Order to Database Replication' (Amir & \
@@ -437,6 +462,7 @@ let main_cmd =
       nemesis_cmd;
       scale_cmd;
       all_cmd;
+      spec_cmd;
       mcheck_cmd;
       mcheck_replay_cmd;
     ]

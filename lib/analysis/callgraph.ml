@@ -1,0 +1,182 @@
+(* The interprocedural function table and call resolution.
+
+   Functions are the top-level [let] bindings of every loaded unit,
+   keyed by "MangledUnit.name" ("Repro_core__Engine.mark_red") — the
+   mangled unit prefix is what disambiguates the two [Engine] modules
+   (lib/sim vs lib/core).  Nested lets are not table entries of their
+   own; their bodies are analyzed as part of the enclosing binding.
+
+   Resolution maps the [Path.t] at a use site back to a table key.  The
+   typed AST records paths as written, so one callee has many
+   spellings: a bare recursive call ("mark_red"), a wrapper-qualified
+   cross-library call ("Repro_storage.Wlog.append"), the -open alias
+   module of the enclosing library ("Repro_core__.Persist.sync"), or a
+   structure-level alias ("Sim.Engine.schedule" after
+   [module Sim = Repro_sim]).  Candidates for each spelling are tried
+   against the table in order; unresolved uses are treated as
+   effect-free by the analyses (conservative for stdlib, and the
+   project's own cross-module calls all resolve). *)
+
+type fn = {
+  f_key : string;
+  f_unit : Cmt_load.unit_info;
+  f_name : string;
+  f_expr : Typedtree.expression;
+  f_loc : Location.t;
+}
+
+type t = {
+  fns : (string, fn) Hashtbl.t;
+  keys : string list;  (** insertion order: unit order, then source order *)
+  aliases : (string, (string * string) list) Hashtbl.t;
+      (** per mangled unit: structure-level [module X = P] aliases *)
+  units : Cmt_load.unit_info list;
+}
+
+(* Every direct subexpression of [e], in syntactic order — the generic
+   child step for hand-rolled walks, via a one-level Tast_iterator. *)
+let subexprs (e : Typedtree.expression) =
+  let acc = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr = (fun _ e' -> acc := e' :: !acc);
+    }
+  in
+  Tast_iterator.default_iterator.expr it e;
+  List.rev !acc
+
+let bound_functions (str : Typedtree.structure) =
+  List.concat_map
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Typedtree.Tstr_value (_, vbs) ->
+        List.filter_map
+          (fun (vb : Typedtree.value_binding) ->
+            match vb.vb_pat.pat_desc with
+            | Typedtree.Tpat_var (id, _) ->
+              Some (Ident.name id, vb.vb_expr, vb.vb_loc)
+            | _ -> None)
+          vbs
+      | _ -> [])
+    str.str_items
+
+let unit_aliases (str : Typedtree.structure) =
+  List.filter_map
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Typedtree.Tstr_module
+          {
+            mb_id = Some id;
+            mb_expr = { mod_desc = Typedtree.Tmod_ident (p, _); _ };
+            _;
+          } ->
+        Some (Ident.name id, Cmt_load.path_name p)
+      | _ -> None)
+    str.str_items
+
+let build (units : Cmt_load.unit_info list) =
+  let fns = Hashtbl.create 256 in
+  let keys = ref [] in
+  let aliases = Hashtbl.create 16 in
+  List.iter
+    (fun (u : Cmt_load.unit_info) ->
+      Hashtbl.replace aliases u.u_name (unit_aliases u.u_str);
+      List.iter
+        (fun (name, expr, loc) ->
+          let key = u.u_name ^ "." ^ name in
+          if not (Hashtbl.mem fns key) then begin
+            Hashtbl.replace fns key
+              { f_key = key; f_unit = u; f_name = name; f_expr = expr;
+                f_loc = loc };
+            keys := key :: !keys
+          end)
+        (bound_functions u.u_str))
+    units;
+  { fns; keys = List.rev !keys; aliases; units }
+
+let find t key = Hashtbl.find_opt t.fns key
+
+(* The library wrapper of a mangled unit name:
+   "Repro_core__Engine" -> "Repro_core"; a plain unit is its own. *)
+let lib_of_unit unit_name =
+  let len = String.length unit_name in
+  let rec find i =
+    if i + 1 >= len then None
+    else if unit_name.[i] = '_' && unit_name.[i + 1] = '_' then
+      Some (String.sub unit_name 0 i)
+    else find (i + 1)
+  in
+  match find 0 with Some lib -> lib | None -> unit_name
+
+let drop_trailing_underscores s =
+  let len = String.length s in
+  let rec stop i = if i > 0 && s.[i - 1] = '_' then stop (i - 1) else i in
+  String.sub s 0 (stop len)
+
+let contains_mangling s =
+  let len = String.length s in
+  let rec scan i =
+    i + 2 < len && ((s.[i] = '_' && s.[i + 1] = '_') || scan (i + 1))
+  in
+  scan 0
+
+(* Candidate table keys for a path spelled [parts] from [caller_unit],
+   most specific first. *)
+let candidates ~caller_unit parts =
+  match parts with
+  | [] -> []
+  | [ name ] -> [ caller_unit ^ "." ^ name ]
+  | p0 :: p1 :: rest ->
+    let join unit path = unit ^ "." ^ String.concat "." path in
+    let c =
+      if contains_mangling p0 then [ join p0 (p1 :: rest) ]
+        (* already a mangled unit: "Repro_core__Persist.sync" *)
+      else []
+    in
+    let c =
+      c
+      @
+      if Cmt_load.has_prefix "Repro_" p0 then
+        (* wrapper-qualified: "Repro_storage.Wlog.append", or the -open
+           alias module "Repro_core__.Persist.sync" *)
+        let lib = drop_trailing_underscores p0 in
+        if rest = [] then [] else [ join (lib ^ "__" ^ p1) rest ]
+      else []
+    in
+    (* same-library sibling: "Persist.sync" from Repro_core__Engine *)
+    c @ [ join (lib_of_unit caller_unit ^ "__" ^ p0) (p1 :: rest) ]
+
+let resolve t ~caller_unit (p : Path.t) =
+  let raw = Cmt_load.path_name p in
+  let parts = String.split_on_char '.' raw in
+  (* structure-level alias substitution on the head component *)
+  let parts =
+    match parts with
+    | head :: rest -> (
+      match Hashtbl.find_opt t.aliases caller_unit with
+      | Some al -> (
+        match List.assoc_opt head al with
+        | Some target -> String.split_on_char '.' target @ rest
+        | None -> parts)
+      | None -> parts)
+    | [] -> parts
+  in
+  let rec first = function
+    | [] -> None
+    | key :: rest -> (
+      match Hashtbl.find_opt t.fns key with
+      | Some fn -> Some fn
+      | None -> first rest)
+  in
+  first (candidates ~caller_unit parts)
+
+(* Every name a use site answers to for primitive matching: the
+   normalized syntactic spelling, plus the normalized resolved key when
+   resolution succeeds ("Wlog.append" matches whether it was written
+   as a bare [append] inside wlog.ml or qualified from outside). *)
+let prim_names t ~caller_unit p =
+  let raw = Cmt_load.normalize (Cmt_load.path_name p) in
+  match resolve t ~caller_unit p with
+  | Some fn -> [ raw; Cmt_load.normalize fn.f_key ]
+  | None -> [ raw ]

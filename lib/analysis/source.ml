@@ -1,0 +1,48 @@
+(* Source-line access for the analyses: suppression tags live in the
+   source text, not the typed AST, so every rule that honours
+   [(* repcheck: allow *)] reads the offending line (and the line above
+   it) back from the file recorded in the cmt.  The analyses run from
+   the build context root (_build/default), where dune's copies of the
+   sources live at the relative paths the cmts record. *)
+
+let allow_tag = "repcheck: allow"
+
+let files : (string, string array) Hashtbl.t = Hashtbl.create 16
+
+let lines_of_file fname =
+  match Hashtbl.find_opt files fname with
+  | Some l -> l
+  | None ->
+    let l =
+      try
+        let ic = open_in fname in
+        let acc = ref [] in
+        (try
+           while true do
+             acc := input_line ic :: !acc
+           done
+         with End_of_file -> close_in ic);
+        Array.of_list (List.rev !acc)
+      with Sys_error _ -> [||]
+    in
+    Hashtbl.replace files fname l;
+    l
+
+let line fname n =
+  let lines = lines_of_file fname in
+  if n >= 1 && n <= Array.length lines then Some lines.(n - 1) else None
+
+let contains_tag s =
+  let tag_len = String.length allow_tag and len = String.length s in
+  let rec scan i =
+    i + tag_len <= len && (String.sub s i tag_len = allow_tag || scan (i + 1))
+  in
+  scan 0
+
+(* A diagnostic is suppressed when the tag sits on its line or on the
+   line above (the conventional place for a standalone comment). *)
+let allowed loc =
+  let fname = loc.Location.loc_start.Lexing.pos_fname in
+  let lnum = loc.Location.loc_start.Lexing.pos_lnum in
+  let has n = match line fname n with Some s -> contains_tag s | None -> false in
+  has lnum || has (lnum - 1)

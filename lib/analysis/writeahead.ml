@@ -1,0 +1,124 @@
+(* Write-ahead ordering: on every intraprocedural path through the core,
+   a stable-storage force must dominate the corresponding GCS send.
+
+   The paper's discipline (§4, Figure 5): an action is multicast only
+   after the log record that describes it has been forced — the
+   [vulnerable] record exists precisely to close the crash window that
+   opens if the order is reversed.  The engine encodes the discipline
+   in continuation-passing style: [Persist.sync t (fun () -> send ...)]
+   runs the send once durability is confirmed, and the force itself is
+   asynchronous, so code textually *after* the sync call runs *before*
+   durability.  The analysis therefore tracks, along every path of
+   every core function, whether an un-forced log append is pending:
+
+   - a call with the Persist effect sets pending (and nothing in
+     straight line ever clears it — only entering a continuation passed
+     to a Force-effecting callee does, because only there has the force
+     completed);
+   - reaching a protocol send point — an application of a
+     [send]-labelled record field, or a call to a function with the
+     UnguardedSend effect — while pending is a violation.
+
+   Branches fork the pending flag and rejoin with OR, so a send is
+   flagged if *any* path reaches it with an un-forced append. *)
+
+let rule = "write-ahead-ordering"
+
+let in_scope prefixes src =
+  List.exists (fun p -> Cmt_load.has_prefix p src) prefixes
+
+let walk_cases :
+    'k.
+    (bool -> Typedtree.expression -> bool) ->
+    bool ->
+    'k Typedtree.case list ->
+    bool =
+ fun walk pending cases ->
+  List.fold_left
+    (fun acc (c : 'k Typedtree.case) ->
+      let p =
+        match c.Typedtree.c_guard with
+        | Some g -> walk pending g
+        | None -> pending
+      in
+      acc || walk p c.Typedtree.c_rhs)
+    false cases
+
+let check_fn (eff : Effects.t) (fn : Callgraph.fn) (sink : Diag.sink) =
+  let caller_unit = fn.Callgraph.f_unit.Cmt_load.u_name in
+  let graph = eff.Effects.graph in
+  let resolve p = Callgraph.resolve graph ~caller_unit p in
+  let callee_effects (f : Typedtree.expression) =
+    match f.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) -> (
+      let names = Callgraph.prim_names graph ~caller_unit p in
+      let prim prims = List.exists (fun n -> List.mem n prims) names in
+      let resolved = resolve p in
+      let e =
+        Option.map (fun g -> Effects.find eff g.Callgraph.f_key) resolved
+      in
+      let get f = match e with Some e -> f e | None -> false in
+      ( prim Effects.persist_prims || get (fun e -> e.Effects.e_persist),
+        prim Effects.force_prims || get (fun e -> e.Effects.e_force),
+        get (fun e -> e.Effects.e_unguarded_send),
+        resolved ))
+    | _ -> (false, false, false, None)
+  in
+  let rec walk pending (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Typedtree.Texp_ifthenelse (c, then_, else_) ->
+      let p = walk pending c in
+      let pt = walk p then_ in
+      let pe = match else_ with Some e' -> walk p e' | None -> p in
+      pt || pe
+    | Typedtree.Texp_match (scrut, cases, _) ->
+      walk_cases walk (walk pending scrut) cases
+    | Typedtree.Texp_try (body, cases) ->
+      let p = walk pending body in
+      p || walk_cases walk p cases
+    | Typedtree.Texp_function { cases; _ } -> walk_cases walk pending cases
+    | Typedtree.Texp_apply (f, args) ->
+      let persists, forces, unguarded, resolved = callee_effects f in
+      let p = ref pending in
+      (match f.exp_desc with
+      | Typedtree.Texp_field (obj, _, lbl) when lbl.lbl_name = "send" ->
+        p := walk !p obj;
+        if !p then
+          Diag.addf sink ~rule ~loc:e.exp_loc
+            "group-communication send before the log force completes: the \
+             multicast must run in the continuation of the stable-storage \
+             sync (paper §4: the vulnerable record only covers an action \
+             whose log record is durable first)"
+      | _ -> p := walk !p f);
+      List.iter
+        (fun (_, arg) ->
+          match arg with
+          | Some a when forces && Effects.is_fun_literal a ->
+            (* the force's continuation: durability holds inside *)
+            ignore (walk false a)
+          | Some a -> p := walk !p a
+          | None -> ())
+        args;
+      if unguarded && !p then
+        Diag.addf sink ~rule ~loc:e.exp_loc
+          "call to %s multicasts before the log force completes: the send \
+           must be dominated by the stable-storage sync (paper §4, \
+           vulnerable-record discipline)"
+          (match resolved with
+          | Some g -> Cmt_load.demangle g.Callgraph.f_key
+          | None -> "a sending function");
+      !p || persists
+    | _ -> List.fold_left walk pending (Callgraph.subexprs e)
+  in
+  ignore (walk false fn.Callgraph.f_expr)
+
+(* Check every function of the units under the core prefixes. *)
+let run (eff : Effects.t) ~core (sink : Diag.sink) =
+  let graph = eff.Effects.graph in
+  List.iter
+    (fun key ->
+      match Callgraph.find graph key with
+      | Some fn when in_scope core fn.Callgraph.f_unit.Cmt_load.u_src ->
+        check_fn eff fn sink
+      | Some _ | None -> ())
+    graph.Callgraph.keys

@@ -117,29 +117,82 @@ let on_recover t ~node = Hashtbl.replace t.shadows node (fresh_shadow ())
 (* ------------------------------------------------------------------ *)
 (* Figure 4 edges                                                      *)
 
-let legal_edge sh (to_ : Types.engine_state) =
+(* The automaton as data: (source, target, guard).  A [None] source is
+   a wildcard (the edge leaves every state).  The guard says under
+   which trigger / quorum outcome the abstract automaton takes the
+   edge.  Exposing the graph declaratively lets the static spec-drift
+   analysis (lib/analysis, bin/lint.exe) diff the transitions compiled
+   into lib/core/engine.ml against this table without re-encoding
+   Figure 4 a third time. *)
+
+let all_states =
+  Types.
+    [
+      Reg_prim;
+      Trans_prim;
+      Exchange_states;
+      Exchange_actions;
+      Construct;
+      No_state;
+      Un_state;
+      Non_prim;
+    ]
+
+(* Constructor names, the shared vocabulary with the static analysis
+   (which reads them off the typed AST). *)
+let state_name : Types.engine_state -> string = function
+  | Types.Reg_prim -> "Reg_prim"
+  | Types.Trans_prim -> "Trans_prim"
+  | Types.Exchange_states -> "Exchange_states"
+  | Types.Exchange_actions -> "Exchange_actions"
+  | Types.Construct -> "Construct"
+  | Types.No_state -> "No_state"
+  | Types.Un_state -> "Un_state"
+  | Types.Non_prim -> "Non_prim"
+
+type edge_guard = trigger -> quorum_outcome -> bool
+
+let fig4 :
+    (Types.engine_state option * Types.engine_state * edge_guard) list =
   let open Types in
-  match (sh.sh_state, to_) with
-  (* A view change always restarts the exchange. *)
-  | _, Exchange_states -> sh.sh_trigger = Tr_reg_conf
-  (* All state messages of the configuration arrived. *)
-  | Exchange_states, Exchange_actions -> sh.sh_trigger = Tr_state_msg
-  (* End of retransmission, quorum granted / denied. *)
-  | Exchange_actions, Construct -> (
-    match sh.sh_quorum with Q_granted _ -> true | Q_pending | Q_denied -> false)
-  | Exchange_actions, Non_prim ->
-    sh.sh_quorum = Q_denied || sh.sh_trigger = Tr_trans_conf
-  (* Transitional configuration interrupts. *)
-  | Reg_prim, Trans_prim -> sh.sh_trigger = Tr_trans_conf
-  | Construct, No_state -> sh.sh_trigger = Tr_trans_conf
-  | Exchange_states, Non_prim -> sh.sh_trigger = Tr_trans_conf
-  (* All CPCs in. *)
-  | Construct, Reg_prim -> sh.sh_trigger = Tr_cpc
-  | No_state, Un_state -> sh.sh_trigger = Tr_cpc
-  (* 1b: an ordered action reveals that the attempt succeeded. *)
-  | Un_state, Trans_prim -> (
-    match sh.sh_trigger with Tr_action _ -> true | _ -> false)
-  | _, _ -> false
+  [
+    (* A view change always restarts the exchange. *)
+    (None, Exchange_states, fun tr _ -> tr = Tr_reg_conf);
+    (* All state messages of the configuration arrived. *)
+    (Some Exchange_states, Exchange_actions, fun tr _ -> tr = Tr_state_msg);
+    (* End of retransmission, quorum granted / denied. *)
+    ( Some Exchange_actions,
+      Construct,
+      fun _ q -> match q with Q_granted _ -> true | Q_pending | Q_denied -> false
+    );
+    ( Some Exchange_actions,
+      Non_prim,
+      fun tr q -> q = Q_denied || tr = Tr_trans_conf );
+    (* Transitional configuration interrupts. *)
+    (Some Reg_prim, Trans_prim, fun tr _ -> tr = Tr_trans_conf);
+    (Some Construct, No_state, fun tr _ -> tr = Tr_trans_conf);
+    (Some Exchange_states, Non_prim, fun tr _ -> tr = Tr_trans_conf);
+    (* All CPCs in. *)
+    (Some Construct, Reg_prim, fun tr _ -> tr = Tr_cpc);
+    (Some No_state, Un_state, fun tr _ -> tr = Tr_cpc);
+    (* 1b: an ordered action reveals that the attempt succeeded. *)
+    ( Some Un_state,
+      Trans_prim,
+      fun tr _ -> match tr with Tr_action _ -> true | _ -> false );
+  ]
+
+(* The guard-erased edge set: a concrete transition refines Figure 4
+   when some guarded edge matches it under some trigger. *)
+let edges : (Types.engine_state option * Types.engine_state) list =
+  List.map (fun (f, t, _) -> (f, t)) fig4
+
+let legal_edge sh (to_ : Types.engine_state) =
+  List.exists
+    (fun (from_, target, guard) ->
+      (match from_ with None -> true | Some s -> s = sh.sh_state)
+      && target = to_
+      && guard sh.sh_trigger sh.sh_quorum)
+    fig4
 
 let on_state t ~node to_ =
   let sh = shadow t node in

@@ -22,6 +22,21 @@ open Repro_core
     Violations carry the invariant name ["spec-refinement"] and are
     drained with {!take}. *)
 
+val all_states : Types.engine_state list
+(** Every Figure 4 state, in the declaration order of
+    {!Types.engine_state}. *)
+
+val state_name : Types.engine_state -> string
+(** The constructor name — the vocabulary shared with the static
+    spec-drift analysis ([lib/analysis]), which reads state names off
+    the typed AST. *)
+
+val edges : (Types.engine_state option * Types.engine_state) list
+(** The guard-erased Figure 4 edge set, [(source, target)]; a [None]
+    source is a wildcard (the edge leaves every state).  The static
+    spec-drift analysis diffs the transitions compiled into
+    [lib/core/engine.ml] against this table. *)
+
 type t
 
 val create : ?weights:Quorum.weights -> unit -> t

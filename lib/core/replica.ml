@@ -424,6 +424,9 @@ let create ?disk_config ?attach_cpu ?checkpoint_every ?weights ?quorum_policy
       ~callbacks:(make_callbacks t) ()
   in
   adopt_engine t e;
+  (* installs the event handler; nothing is multicast until the network
+     delivers an event, so the meta record Engine.create appended need
+     not be forced yet.  repcheck: allow *)
   ignore (make_endpoint t);
   t
 

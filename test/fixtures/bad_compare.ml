@@ -1,0 +1,9 @@
+(* Seeds: no-poly-id-compare.  [Node_id.t] is abstract; polymorphic
+   equality on it works today and silently breaks the day the
+   representation changes.  The analysis must flag [same_node] and
+   accept [same_node_ok]. *)
+
+let same_node (a : Repro_net.Node_id.t) (b : Repro_net.Node_id.t) = a = b
+
+let same_node_ok (a : Repro_net.Node_id.t) (b : Repro_net.Node_id.t) =
+  Repro_net.Node_id.equal a b

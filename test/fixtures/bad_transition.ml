@@ -1,0 +1,19 @@
+(* Seeds: spec-drift.  [step] takes the replica straight from
+   [Non_prim] to [Reg_prim] — a transition Figure 4 does not have (the
+   only way back to a primary state is through Exchange_states).  The
+   extraction must report the Non_prim -> Reg_prim edge as present in
+   code but absent from the spec. *)
+
+open Repro_core
+
+type m = { mutable state : Types.engine_state }
+
+let set_state m s = m.state <- s
+
+let step m =
+  match m.state with
+  | Types.Non_prim -> set_state m Types.Reg_prim
+  | Types.Reg_prim | Types.Trans_prim | Types.Exchange_states
+  | Types.Exchange_actions | Types.Construct | Types.No_state | Types.Un_state
+    ->
+    ()

@@ -1,0 +1,21 @@
+(* Seeds: write-ahead-ordering.  [announce_before_force] multicasts an
+   action whose log record has been appended but not yet forced — the
+   exact crash window the paper's vulnerable-record discipline closes
+   (§4): the node can send, crash before the force, and recover with no
+   trace of an action the rest of the group ordered.  The analysis must
+   flag the send in [announce_before_force] and accept
+   [announce_after_force], where the send runs in the continuation of
+   the stable-storage sync. *)
+
+open Repro_storage
+
+type net = { send : size:int -> int -> unit }
+
+let announce_before_force (log : int Wlog.t) (wire : net) seq =
+  Wlog.append log seq;
+  wire.send ~size:8 seq;
+  Wlog.sync log (fun () -> ())
+
+let announce_after_force (log : int Wlog.t) (wire : net) seq =
+  Wlog.append log seq;
+  Wlog.sync log (fun () -> wire.send ~size:8 seq)

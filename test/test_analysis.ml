@@ -1,0 +1,171 @@
+(* Unit tests for the static-analysis framework's pure parts: the
+   diagnostic sink (dedup, ordering, JSON round-trip, baseline
+   fingerprints) and the spec-drift diff against the real Figure 4
+   table from lib/check/spec.ml.
+
+   NOTE: no [open] of project libraries — repro_analysis links
+   compiler-libs, whose Types/Path/Location would shadow the
+   project's. *)
+
+module Diag = Repro_analysis.Diag
+module Specdrift = Repro_analysis.Specdrift
+module Spec = Repro_check.Spec
+
+(* A location in a file that does not exist: Source.allowed finds no
+   tag, so nothing is suppressed. *)
+let loc ~file ~line ~col =
+  let pos =
+    {
+      Lexing.pos_fname = file;
+      pos_lnum = line;
+      pos_bol = 0;
+      pos_cnum = col;
+    }
+  in
+  { Location.loc_start = pos; loc_end = pos; loc_ghost = false }
+
+let add sink ~rule ~file ~line ~col msg =
+  Diag.add sink ~rule ~loc:(loc ~file ~line ~col) msg
+
+(* --- the sink --------------------------------------------------------- *)
+
+let test_dedup () =
+  let sink = Diag.create_sink () in
+  (* same (file, line, rule): one finding, whatever the column *)
+  add sink ~rule:"r" ~file:"a.ml" ~line:3 ~col:1 "first";
+  add sink ~rule:"r" ~file:"a.ml" ~line:3 ~col:9 "second";
+  (* different rule on the same line: kept *)
+  add sink ~rule:"s" ~file:"a.ml" ~line:3 ~col:1 "other rule";
+  Alcotest.(check int) "two findings" 2 (List.length (Diag.to_list sink))
+
+let test_order () =
+  let sink = Diag.create_sink () in
+  add sink ~rule:"r" ~file:"b.ml" ~line:1 ~col:0 "m";
+  add sink ~rule:"r" ~file:"a.ml" ~line:9 ~col:0 "m";
+  add sink ~rule:"s" ~file:"a.ml" ~line:2 ~col:5 "m";
+  add sink ~rule:"r" ~file:"a.ml" ~line:2 ~col:1 "m";
+  let got =
+    List.map
+      (fun d -> (d.Diag.d_file, d.Diag.d_line, d.Diag.d_col))
+      (Diag.to_list sink)
+  in
+  Alcotest.(check (list (triple string int int)))
+    "sorted by file, line, col"
+    [ ("a.ml", 2, 1); ("a.ml", 2, 5); ("a.ml", 9, 0); ("b.ml", 1, 0) ]
+    got
+
+let test_json_roundtrip () =
+  let sink = Diag.create_sink () in
+  add sink ~rule:"no-poly-id-compare" ~file:"lib/x.ml" ~line:4 ~col:7
+    "tricky \"quoted\"\nmessage\twith escapes";
+  add sink ~rule:"spec-drift" ~file:"lib/y.ml" ~line:1 ~col:0 "plain";
+  let diags = Diag.to_list sink in
+  let parsed = Diag.parse_report (Diag.report_json diags) in
+  Alcotest.(check int) "same count" (List.length diags) (List.length parsed);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "rule" a.Diag.d_rule b.Diag.d_rule;
+      Alcotest.(check string) "file" a.Diag.d_file b.Diag.d_file;
+      Alcotest.(check int) "line" a.Diag.d_line b.Diag.d_line;
+      Alcotest.(check int) "col" a.Diag.d_col b.Diag.d_col;
+      Alcotest.(check string) "message" a.Diag.d_message b.Diag.d_message)
+    diags parsed
+
+let test_json_deterministic () =
+  let sink = Diag.create_sink () in
+  add sink ~rule:"r" ~file:"a.ml" ~line:1 ~col:0 "m";
+  let diags = Diag.to_list sink in
+  Alcotest.(check string)
+    "byte-identical" (Diag.report_json diags) (Diag.report_json diags)
+
+let test_baseline_ignores_line_moves () =
+  let sink = Diag.create_sink () in
+  add sink ~rule:"r" ~file:"a.ml" ~line:10 ~col:2 "grandfathered";
+  let baseline = Diag.to_list sink in
+  (* the same finding, shifted down 5 lines: still grandfathered *)
+  let moved = Diag.create_sink () in
+  add moved ~rule:"r" ~file:"a.ml" ~line:15 ~col:4 "grandfathered";
+  Alcotest.(check int)
+    "line move is not new" 0
+    (List.length (Diag.new_findings ~baseline (Diag.to_list moved)));
+  (* a different message is a new finding *)
+  let fresh = Diag.create_sink () in
+  add fresh ~rule:"r" ~file:"a.ml" ~line:10 ~col:2 "different";
+  Alcotest.(check int)
+    "message change is new" 1
+    (List.length (Diag.new_findings ~baseline (Diag.to_list fresh)))
+
+(* --- spec drift over the real Figure 4 table -------------------------- *)
+
+let all_states = List.map Spec.state_name Spec.all_states
+
+let spec_pairs =
+  Specdrift.expand_spec ~all_states
+    (List.map
+       (fun (from_, target) ->
+         (Option.map Spec.state_name from_, Spec.state_name target))
+       Spec.edges)
+
+let test_drift_clean () =
+  (* code that takes exactly the specified transitions: empty diff *)
+  let code_only, spec_only = Specdrift.diff ~spec_pairs ~code_pairs:spec_pairs in
+  Alcotest.(check (list (pair string string))) "no code-only" [] code_only;
+  Alcotest.(check (list (pair string string))) "no spec-only" [] spec_only
+
+let test_drift_extra_transition () =
+  (* a synthetic transition the engine never takes and Figure 4 does
+     not have: it must surface as code-only drift, and nothing else *)
+  let rogue = ("Non_prim", "Reg_prim") in
+  assert (not (List.mem rogue spec_pairs));
+  let code_only, spec_only =
+    Specdrift.diff ~spec_pairs ~code_pairs:(rogue :: spec_pairs)
+  in
+  Alcotest.(check (list (pair string string)))
+    "the rogue edge" [ rogue ] code_only;
+  Alcotest.(check (list (pair string string))) "no spec-only" [] spec_only
+
+let test_drift_missing_transition () =
+  (* drop one specified edge from the code side: spec-only drift *)
+  let dropped = ("Construct", "Reg_prim") in
+  assert (List.mem dropped spec_pairs);
+  let code_pairs = List.filter (fun e -> e <> dropped) spec_pairs in
+  let code_only, spec_only = Specdrift.diff ~spec_pairs ~code_pairs in
+  Alcotest.(check (list (pair string string))) "no code-only" [] code_only;
+  Alcotest.(check (list (pair string string)))
+    "the dropped edge" [ dropped ] spec_only
+
+let test_expand_wildcard () =
+  (* a None source expands to every state *)
+  let pairs = Specdrift.expand_spec ~all_states [ (None, "Exchange_states") ] in
+  Alcotest.(check int) "8 edges" (List.length all_states) (List.length pairs);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s ^ " -> Exchange_states") true
+        (List.mem (s, "Exchange_states") pairs))
+    all_states
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "diag",
+        [
+          Alcotest.test_case "dedup by (file, line, rule)" `Quick test_dedup;
+          Alcotest.test_case "total order" `Quick test_order;
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "json deterministic" `Quick
+            test_json_deterministic;
+          Alcotest.test_case "baseline fingerprint" `Quick
+            test_baseline_ignores_line_moves;
+        ] );
+      ( "specdrift",
+        [
+          Alcotest.test_case "clean diff" `Quick test_drift_clean;
+          Alcotest.test_case "extra transition is code-only drift" `Quick
+            test_drift_extra_transition;
+          Alcotest.test_case "dropped transition is spec-only drift" `Quick
+            test_drift_missing_transition;
+          Alcotest.test_case "wildcard source expands" `Quick
+            test_expand_wildcard;
+        ] );
+    ]
