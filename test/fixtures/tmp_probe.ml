@@ -1,0 +1,10 @@
+open Repro_storage
+
+type net = { send : size:int -> int -> unit }
+
+let probe (log : int Wlog.t) (wire : net) seq =
+  match seq with
+  | 0 ->
+    Wlog.append log seq;
+    wire.send ~size:8 seq
+  | n -> Wlog.append log n
