@@ -59,7 +59,7 @@ type t = {
       (** per function: table functions it references *)
 }
 
-let persist_prims = [ "Wlog.append"; "Wlog.append_sync" ]
+let persist_prims = [ "Wlog.append"; "Wlog.append_batch"; "Wlog.append_sync" ]
 let force_prims = [ "Wlog.sync"; "Wlog.append_sync"; "Disk.force" ]
 
 let send_prims =

@@ -12,10 +12,14 @@ type t = {
   mutable green_count : int;
   mutable floor : int; (* positions <= floor have no body *)
   mutable floor_line : Action.Id.t option;
-  mutable red : Action.t list; (* newest first *)
-  mutable red_count : int;
+  mutable red : Action.t list;
+      (* newest first; may hold lazily-deleted entries — [red_set] is
+         the authoritative membership index *)
+  mutable red_count : int; (* live entries in [red] *)
+  mutable red_dead : int; (* tombstoned entries still in [red] *)
   green_pos : int Id_tbl.t; (* id -> green position *)
   bodies : Action.t Id_tbl.t; (* every body we hold *)
+  red_set : unit Id_tbl.t; (* live red ids *)
 }
 
 let create () =
@@ -26,8 +30,10 @@ let create () =
     floor_line = None;
     red = [];
     red_count = 0;
+    red_dead = 0;
     green_pos = Id_tbl.create 256;
     bodies = Id_tbl.create 256;
+    red_set = Id_tbl.create 256;
   }
 
 let green_count t = t.green_count
@@ -91,10 +97,19 @@ let grow t a =
     t.green <- ng
   end
 
+(* O(1) amortized: membership is a hashtable lookup and deletion is
+   lazy — the list entry becomes a tombstone, swept out only when
+   tombstones outnumber live entries (so each sweep's O(n) is paid for
+   by the n removals that preceded it). *)
 let remove_red t id =
-  if List.exists (fun a -> Action.Id.equal a.Action.id id) t.red then begin
-    t.red <- List.filter (fun a -> not (Action.Id.equal a.Action.id id)) t.red;
-    t.red_count <- t.red_count - 1
+  if Id_tbl.mem t.red_set id then begin
+    Id_tbl.remove t.red_set id;
+    t.red_count <- t.red_count - 1;
+    t.red_dead <- t.red_dead + 1;
+    if t.red_dead > t.red_count + 64 then begin
+      t.red <- List.filter (fun a -> Id_tbl.mem t.red_set a.Action.id) t.red;
+      t.red_dead <- 0
+    end
   end
 
 let append_green t a =
@@ -112,10 +127,13 @@ let add_red t a =
   if not (Id_tbl.mem t.bodies a.Action.id) then begin
     t.red <- a :: t.red;
     t.red_count <- t.red_count + 1;
+    Id_tbl.replace t.red_set a.Action.id ();
     Id_tbl.replace t.bodies a.Action.id a
   end
 
-let red_actions t = List.rev t.red
+let red_actions t =
+  List.rev
+    (List.filter (fun a -> Id_tbl.mem t.red_set a.Action.id) t.red)
 let red_count t = t.red_count
 let find t id = Id_tbl.find_opt t.bodies id
 let mem t id = Id_tbl.mem t.bodies id

@@ -8,8 +8,15 @@ let log_src = Logs.Src.create "repro.engine" ~doc:"replication engine"
 
 module Log = (val Logs.src_log log_src)
 
+module Id_tbl = Hashtbl.Make (struct
+  type t = Action.Id.t
+
+  let equal = Action.Id.equal
+  let hash (id : Action.Id.t) = Hashtbl.hash (id.server, id.index)
+end)
+
 type callbacks = {
-  on_green : Action.t -> unit;
+  on_green : Action.t list -> unit;
   on_red : Action.t -> unit;
   on_transfer_request : joiner:Node_id.t -> join_green_count:int -> unit;
   on_self_leave : unit -> unit;
@@ -30,6 +37,8 @@ type stats = {
   mutable s_installs : int;
   mutable s_retrans_batches : int;
   mutable s_actions_resent : int;
+  mutable s_submit_batches : int;
+  mutable s_batched_submissions : int;
 }
 
 (* Audit events: a structured feed of the engine's protocol-level
@@ -67,6 +76,16 @@ type t = {
   mutable pending_green : (int * Action.t) list;
   mutable ongoing : Action.t list; (* own undelivered actions, oldest first *)
   mutable action_index : int;
+  (* end-to-end batching *)
+  submit_delay : Sim.Time.t option;
+      (* [Some d]: submissions accepted within [d] coalesce into one log
+         frame / force / ordered batch; [None]: one action per unit *)
+  mutable pending_submit : buffered_request list; (* newest first *)
+  mutable submit_armed : bool;
+  mutable red_accum : Action.t list; (* marks of the burst, newest first *)
+  mutable green_accum : Action.t list; (* newest first *)
+  mutable burst_depth : int; (* delivery-burst nesting, 0 = flushed *)
+  yellow_ids : unit Id_tbl.t; (* membership index over yellow.y_set *)
   mutable known_servers : Node_id.Set.t;
   mutable prim : prim_component;
   mutable vulnerable : vulnerable;
@@ -93,6 +112,7 @@ let halted t = t.halted
 let green_count t = Action_queue.green_count t.queue
 let green_actions t = Action_queue.greens_from t.queue 0
 let red_actions t = Action_queue.red_actions t.queue
+let red_count t = Action_queue.red_count t.queue
 let green_line t = Action_queue.green_line t.queue
 let ongoing_actions t = t.ongoing
 let attempt t = t.attempt
@@ -157,6 +177,48 @@ let sync_then t k = Persist.sync t.persist (fun () -> if not t.halted then k ())
 let send_payload t ~service p =
   t.cb.send ~service ~size:(payload_size p) p
 
+(* [yellow] is replaced wholesale at view events; keep the membership
+   index (used on the per-delivery hot path of transitional
+   configurations) in step. *)
+let set_yellow t y =
+  t.yellow <- y;
+  Id_tbl.reset t.yellow_ids;
+  List.iter (fun id -> Id_tbl.replace t.yellow_ids id ()) y.y_set
+
+(* ------------------------------------------------------------------ *)
+(* Group commit (delivery bursts)                                      *)
+
+(* Red and green marks accumulate while a delivery burst is processed
+   and are flushed as one multi-record log frame per colour — red
+   before green, so every green mark's body precedes it in the log —
+   plus a single application callback for the whole green batch (one
+   apply, one cache invalidation, one response sweep downstream).
+   Durability semantics are unchanged: marks were never individually
+   forced, and no disk or network event can interleave with a burst
+   (it is synchronous within one simulation event). *)
+let flush_marks t =
+  (match t.red_accum with
+  | [] -> ()
+  | acc ->
+    t.red_accum <- [];
+    Persist.log_red_batch t.persist (List.rev acc));
+  match t.green_accum with
+  | [] -> ()
+  | acc ->
+    t.green_accum <- [];
+    let batch = List.rev acc in
+    Persist.log_green_batch t.persist (List.map (fun a -> a.Action.id) batch);
+    t.cb.on_green batch
+
+let begin_burst t = t.burst_depth <- t.burst_depth + 1
+
+let end_burst t =
+  t.burst_depth <- t.burst_depth - 1;
+  if t.burst_depth <= 0 then begin
+    t.burst_depth <- 0;
+    flush_marks t
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Marking (paper CodeSegments A.14 and 5.1)                           *)
 
@@ -179,7 +241,7 @@ let rec mark_red t (a : Action.t) =
     t.action_index <- a.id.index;
   if a.id.index = cut + 1 then begin
     Hashtbl.replace t.red_cut creator (cut + 1);
-    Persist.log_red t.persist a;
+    t.red_accum <- a :: t.red_accum;
     Action_queue.add_red t.queue a;
     if Node_id.equal creator t.node then
       t.ongoing <-
@@ -232,7 +294,7 @@ let mark_green t (a : Action.t) =
     if a.id.index > red_cut t a.id.server then
       invalid_arg "Engine.mark_green: gap below a green action";
     let pos = Action_queue.append_green t.queue a in
-    Persist.log_green t.persist a.id;
+    t.green_accum <- a :: t.green_accum;
     note_own_green t pos a.id;
     (match a.kind with
     | Action.Join joiner when not (Node_id.Set.mem joiner t.known_servers) ->
@@ -252,16 +314,18 @@ let mark_green t (a : Action.t) =
       end
     | Action.Leave _ -> ()
     | Action.Query _ | Action.Update _ | Action.Read_write _
-    | Action.Active _ | Action.Interactive _ -> ());
-    t.cb.on_green a
+    | Action.Active _ | Action.Interactive _ -> ())
   end
 
 let mark_yellow t (a : Action.t) =
   ignore (mark_red t a);
   if
     (not (Action_queue.is_green t.queue a.id))
-    && not (List.exists (Action.Id.equal a.id) t.yellow.y_set)
-  then t.yellow <- { t.yellow with y_set = t.yellow.y_set @ [ a.id ] }
+    && not (Id_tbl.mem t.yellow_ids a.id)
+  then begin
+    t.yellow <- { t.yellow with y_set = t.yellow.y_set @ [ a.id ] };
+    Id_tbl.replace t.yellow_ids a.id ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Install (paper CodeSegment A.10)                                    *)
@@ -280,7 +344,7 @@ let install t =
           | Some a -> mark_green t a (* OR-1.2 *)
           | None -> ())
       t.yellow.y_set;
-  t.yellow <- invalid_yellow;
+  set_yellow t invalid_yellow;
   t.prim <-
     {
       prim_index = t.prim.prim_index + 1;
@@ -301,7 +365,7 @@ let install t =
 (* ------------------------------------------------------------------ *)
 (* Client requests (paper A.1/A.2 Client_req, A.8)                     *)
 
-let create_and_log t ~client ~semantics ~size ~kind ~on_created =
+let create_action t ~client ~semantics ~size ~kind ~on_created =
   t.action_index <- t.action_index + 1;
   let a =
     Action.make ~client ~semantics
@@ -309,18 +373,81 @@ let create_and_log t ~client ~semantics ~size ~kind ~on_created =
       ~size ~server:t.node ~index:t.action_index kind
   in
   t.ongoing <- t.ongoing @ [ a ];
-  Persist.log_ongoing t.persist a;
   on_created a.Action.id;
   a
+
+let create_and_log t ~client ~semantics ~size ~kind ~on_created =
+  let a = create_action t ~client ~semantics ~size ~kind ~on_created in
+  Persist.log_ongoing t.persist a;
+  a
+
+(* A singleton still travels as [Action_msg] — the unbatched engine and
+   every recorded trace keep their exact wire shape. *)
+let send_actions t actions =
+  match actions with
+  | [] -> ()
+  | [ a ] -> send_payload t ~service:Endpoint.Safe (Action_msg a)
+  | _ -> send_payload t ~service:Endpoint.Safe (Action_batch actions)
+
+(* One submission batch end to end: every request accepted since the
+   batch timer was armed becomes one multi-record log frame, one
+   covering force, and one ordered [Action_batch]. *)
+let note_submit_batch t actions =
+  t.stats.s_submit_batches <- t.stats.s_submit_batches + 1;
+  t.stats.s_batched_submissions <-
+    t.stats.s_batched_submissions + List.length actions
+
+let flush_submissions t =
+  t.submit_armed <- false;
+  if not t.halted then begin
+    let requests = List.rev t.pending_submit in
+    t.pending_submit <- [];
+    if requests <> [] then
+      match t.state with
+      | Reg_prim | Non_prim ->
+        let actions =
+          List.map
+            (fun r ->
+              create_action t ~client:r.bq_client ~semantics:r.bq_semantics
+                ~size:r.bq_size ~kind:r.bq_kind ~on_created:r.bq_on_created)
+            requests
+        in
+        Persist.log_ongoing_batch t.persist actions;
+        note_submit_batch t actions;
+        sync_then t (fun () -> send_actions t actions)
+      | Trans_prim | Exchange_states | Exchange_actions | Construct
+      | No_state | Un_state ->
+        (* A view change overtook the batch timer: park the requests
+           with the buffered ones — they are created and sent when the
+           exchange resolves. *)
+        t.buffered <- t.buffered @ List.rev requests
+  end
 
 let submit t ?(client = 0) ?(semantics = Action.Strict) ?(size = 200) ~kind
     ~on_created () =
   if not t.halted then
     match t.state with
-    | Reg_prim | Non_prim ->
-      let a = create_and_log t ~client ~semantics ~size ~kind ~on_created in
-      sync_then t (fun () ->
-          send_payload t ~service:Endpoint.Safe (Action_msg a))
+    | Reg_prim | Non_prim -> (
+      match t.submit_delay with
+      | None ->
+        let a = create_and_log t ~client ~semantics ~size ~kind ~on_created in
+        sync_then t (fun () ->
+            send_payload t ~service:Endpoint.Safe (Action_msg a))
+      | Some delay ->
+        t.pending_submit <-
+          {
+            bq_client = client;
+            bq_semantics = semantics;
+            bq_size = size;
+            bq_kind = kind;
+            bq_on_created = on_created;
+          }
+          :: t.pending_submit;
+        if not t.submit_armed then begin
+          t.submit_armed <- true;
+          ignore
+            (Sim.Engine.schedule t.sim ~delay (fun () -> flush_submissions t))
+        end)
     | Trans_prim | Exchange_states | Exchange_actions | Construct | No_state
     | Un_state ->
       t.buffered <-
@@ -335,13 +462,12 @@ let submit t ?(client = 0) ?(semantics = Action.Strict) ?(size = 200) ~kind
 
 (* Actions created here but never delivered back (the group
    communication drops unordered messages at a view change) are re-sent
-   from the ongoing queue after every exchange; duplicate deliveries are
-   shed by the red-cut check in MarkRed. *)
+   from the ongoing queue after every exchange — as one batch, since
+   their log records are durable by now; duplicate deliveries are shed
+   by the red-cut check in MarkRed. *)
 let resend_ongoing t =
   t.stats.s_actions_resent <- t.stats.s_actions_resent + List.length t.ongoing;
-  List.iter
-    (fun a -> send_payload t ~service:Endpoint.Safe (Action_msg a))
-    t.ongoing
+  send_actions t t.ongoing
 
 let handle_buffered t =
   let requests = List.rev t.buffered in
@@ -350,14 +476,13 @@ let handle_buffered t =
     let actions =
       List.map
         (fun r ->
-          create_and_log t ~client:r.bq_client ~semantics:r.bq_semantics
+          create_action t ~client:r.bq_client ~semantics:r.bq_semantics
             ~size:r.bq_size ~kind:r.bq_kind ~on_created:r.bq_on_created)
         requests
     in
-    sync_then t (fun () ->
-        List.iter
-          (fun a -> send_payload t ~service:Endpoint.Safe (Action_msg a))
-          actions)
+    Persist.log_ongoing_batch t.persist actions;
+    note_submit_batch t actions;
+    sync_then t (fun () -> send_actions t actions)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -526,7 +651,7 @@ and end_of_retrans t knowledge =
     (* Adopt the computed knowledge. *)
     t.prim <- knowledge.Knowledge.k_prim;
     t.attempt <- knowledge.Knowledge.k_attempt;
-    t.yellow <- knowledge.Knowledge.k_yellow;
+    set_yellow t knowledge.Knowledge.k_yellow;
     (match Node_id.Map.find_opt t.node knowledge.Knowledge.k_vulnerable with
     | Some v -> t.vulnerable <- v
     | None -> ());
@@ -706,13 +831,21 @@ let on_reg_conf t view =
   shift_to_exchange_states t
 
 let handle_event t event =
-  if not t.halted then
-    match event with
+  if not t.halted then begin
+    (* Every event is its own (innermost) delivery burst: marks flush at
+       the end even when the engine is driven without a group-commit
+       wrapper (model checker, direct tests).  When the GCS endpoint
+       brackets a multi-event burst with [begin_burst]/[end_burst], the
+       per-event flush defers to the outer bracket. *)
+    begin_burst t;
+    (match event with
     | Endpoint.Reg_conf view -> on_reg_conf t view
     | Endpoint.Trans_conf _ -> on_trans_conf t
     | Endpoint.Deliver d -> (
       match d.Endpoint.payload with
       | Action_msg a -> on_action t a ~in_regular:d.in_regular
+      | Action_batch actions ->
+        List.iter (fun a -> on_action t a ~in_regular:d.in_regular) actions
       | Retrans_green { g_from; g_actions } ->
         List.iteri
           (fun i a -> on_retrans_green t (g_from + 1 + i) a)
@@ -720,14 +853,16 @@ let handle_event t event =
       | Retrans_red actions -> List.iter (on_retrans_red t) actions
       | State_msg sm -> on_state_msg t sm
       | Cpc { cpc_server; cpc_conf } ->
-        on_cpc t cpc_server cpc_conf ~in_regular:d.in_regular)
+        on_cpc t cpc_server cpc_conf ~in_regular:d.in_regular));
+    end_burst t
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Construction and recovery                                           *)
 
 let make_blank ?(weights = Quorum.no_weights)
-    ?(quorum_policy = Quorum.Dynamic_linear) ~sim ~node ~servers ~persist
-    ~callbacks () =
+    ?(quorum_policy = Quorum.Dynamic_linear) ?submit_delay ~sim ~node ~servers
+    ~persist ~callbacks () =
   {
     sim;
     node;
@@ -735,7 +870,14 @@ let make_blank ?(weights = Quorum.no_weights)
     weights;
     quorum_policy;
     stats =
-      { s_exchanges = 0; s_installs = 0; s_retrans_batches = 0; s_actions_resent = 0 };
+      {
+        s_exchanges = 0;
+        s_installs = 0;
+        s_retrans_batches = 0;
+        s_actions_resent = 0;
+        s_submit_batches = 0;
+        s_batched_submissions = 0;
+      };
     cb = callbacks;
     state = Non_prim;
     halted = false;
@@ -748,6 +890,13 @@ let make_blank ?(weights = Quorum.no_weights)
     pending_green = [];
     ongoing = [];
     action_index = 0;
+    submit_delay;
+    pending_submit = [];
+    submit_armed = false;
+    red_accum = [];
+    green_accum = [];
+    burst_depth = 0;
+    yellow_ids = Id_tbl.create 64;
     known_servers = servers;
     prim = initial_prim ~servers;
     vulnerable = invalid_vulnerable;
@@ -764,18 +913,23 @@ let make_blank ?(weights = Quorum.no_weights)
     audit = None;
   }
 
-let create ?weights ?quorum_policy ~sim ~node ~servers ~persist ~callbacks () =
+let create ?weights ?quorum_policy ?submit_delay ~sim ~node ~servers ~persist
+    ~callbacks () =
   let t =
-    make_blank ?weights ?quorum_policy ~sim ~node ~servers ~persist ~callbacks ()
+    make_blank ?weights ?quorum_policy ?submit_delay ~sim ~node ~servers
+      ~persist ~callbacks ()
   in
   log_meta t;
   t
 
 let stats t = t.stats
 
-let create_from_snapshot ?weights ?(action_floor = 0) ~sim ~node ~servers
-    ~snapshot ~green_count ~green_line ~red_cut ~prim ~persist ~callbacks () =
-  let t = make_blank ?weights ~sim ~node ~servers ~persist ~callbacks () in
+let create_from_snapshot ?weights ?(action_floor = 0) ?submit_delay ~sim ~node
+    ~servers ~snapshot ~green_count ~green_line ~red_cut ~prim ~persist
+    ~callbacks () =
+  let t =
+    make_blank ?weights ?submit_delay ~sim ~node ~servers ~persist ~callbacks ()
+  in
   (* An amnesiac rejoiner must not re-mint action ids its previous life
      used: start counting from the sponsor's red cut for this node, or
      from the floor recovered from still-readable log records when that
@@ -819,23 +973,23 @@ let create_from_snapshot ?weights ?(action_floor = 0) ~sim ~node ~servers
   sync_then t (fun () -> ());
   t
 
-let recover ?weights ?quorum_policy ?recovered ~sim ~node ~servers ~persist
-    ~callbacks () =
+let recover ?weights ?quorum_policy ?submit_delay ?recovered ~sim ~node
+    ~servers ~persist ~callbacks () =
   let r =
     match recovered with
     | Some r -> r
     | None -> Persist.recover ~self:node persist
   in
   let t =
-    make_blank ?weights ?quorum_policy ~sim ~node ~servers ~persist ~callbacks
-      ()
+    make_blank ?weights ?quorum_policy ?submit_delay ~sim ~node ~servers
+      ~persist ~callbacks ()
   in
   (match r.Persist.r_meta with
   | Some m ->
     t.prim <- m.m_prim;
     t.vulnerable <- m.m_vulnerable;
     t.attempt <- m.m_attempt;
-    t.yellow <- m.m_yellow;
+    set_yellow t m.m_yellow;
     t.known_servers <- m.m_servers
   | None -> ());
   (match r.Persist.r_checkpoint with
@@ -867,6 +1021,10 @@ let recover ?weights ?quorum_policy ?recovered ~sim ~node ~servers ~persist
      duplicate delivery of a resent copy drains it.) *)
   List.iter (fun a -> ignore (mark_red t a)) r.Persist.r_ongoing;
   t.ongoing <- r.Persist.r_ongoing;
+  (* The re-injected reds accumulated as marks; recovery runs outside
+     any delivery burst, so flush their log frame here.  (No greens can
+     accumulate: the queue above was rebuilt without [mark_green].) *)
+  flush_marks t;
   log_meta t;
   sync_then t (fun () -> ());
   ( t,

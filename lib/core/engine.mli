@@ -16,8 +16,10 @@ open Repro_db
     Component round guarded by the [vulnerable] record. *)
 
 type callbacks = {
-  on_green : Action.t -> unit;
-      (** the action reached its place in the global order: apply it *)
+  on_green : Action.t list -> unit;
+      (** a delivery burst's actions reached their places in the global
+          order, in green order: apply them as one group-committed
+          batch.  Invoked once per burst (the batch is never empty). *)
   on_red : Action.t -> unit;
       (** the action was accepted locally (dirty knowledge) *)
   on_transfer_request : joiner:Node_id.t -> join_green_count:int -> unit;
@@ -38,6 +40,11 @@ type stats = {
   mutable s_installs : int;  (** primary components installed here *)
   mutable s_retrans_batches : int;  (** retransmission batches sent *)
   mutable s_actions_resent : int;  (** ongoing actions re-multicast *)
+  mutable s_submit_batches : int;
+      (** submission batches logged and sent (frames on the forced path) *)
+  mutable s_batched_submissions : int;
+      (** actions carried by those batches — the ratio to
+          [s_submit_batches] is the achieved mean batch size *)
 }
 
 (** A structured feed of protocol-level decisions, consumed by the
@@ -63,6 +70,7 @@ val set_audit : t -> (audit_event -> unit) -> unit
 val create :
   ?weights:Quorum.weights ->
   ?quorum_policy:Quorum.policy ->
+  ?submit_delay:Repro_sim.Time.t ->
   sim:Repro_sim.Engine.t ->
   node:Node_id.t ->
   servers:Node_id.Set.t ->
@@ -72,11 +80,19 @@ val create :
   t
 (** A fresh replica of the initial server set [servers]; the initial
     primary component is the full set with index 0, so the first quorate
-    component installs primary #1. *)
+    component installs primary #1.
+
+    [submit_delay] enables end-to-end submission batching: requests
+    accepted within the delay coalesce into one ongoing-queue log
+    frame, one covering force, and one ordered [Action_batch] (a delay
+    of zero still coalesces requests arriving at the same instant).
+    Without it every submission is its own unit, exactly the paper's
+    per-action pipeline. *)
 
 val create_from_snapshot :
   ?weights:Quorum.weights ->
   ?action_floor:int ->
+  ?submit_delay:Repro_sim.Time.t ->
   sim:Repro_sim.Engine.t ->
   node:Node_id.t ->
   servers:Node_id.Set.t ->
@@ -99,6 +115,7 @@ val create_from_snapshot :
 val recover :
   ?weights:Quorum.weights ->
   ?quorum_policy:Quorum.policy ->
+  ?submit_delay:Repro_sim.Time.t ->
   ?recovered:Persist.recovered ->
   sim:Repro_sim.Engine.t ->
   node:Node_id.t ->
@@ -128,7 +145,19 @@ val checkpoint : t -> Database.snapshot -> unit
 (* --- Event input -------------------------------------------------- *)
 
 val handle_event : t -> Types.payload Endpoint.event -> unit
-(** Feed every event of the group-communication endpoint here. *)
+(** Feed every event of the group-communication endpoint here.  Each
+    call is (at least) one delivery burst: red/green marks made while
+    processing it are group-committed at its end — one multi-record log
+    frame per colour and one [on_green] application batch. *)
+
+val begin_burst : t -> unit
+val end_burst : t -> unit
+(** Bracket a multi-event delivery burst (the GCS endpoint delivers a
+    run of ordered messages when safety advances): marks made by the
+    bracketed [handle_event] calls flush once, at the outermost
+    [end_burst], instead of per event.  Nesting is refcounted; the
+    per-event flush inside [handle_event] uses the same refcount, so an
+    unbracketed engine behaves identically, just with burst = event. *)
 
 val submit :
   t ->
@@ -151,6 +180,10 @@ val halted : t -> bool
 val green_count : t -> int
 val green_actions : t -> Action.t list
 val red_actions : t -> Action.t list
+
+(** [List.length (red_actions t)], in O(1) — cache keys and stats on
+    the query hot path must not walk the red queue. *)
+val red_count : t -> int
 val green_line : t -> Action.Id.t option
 
 val ongoing_actions : t -> Action.t list

@@ -13,13 +13,32 @@ type t = {
   k_red_targets : int Node_id.Map.t;
 }
 
+module Id_tbl = Hashtbl.Make (struct
+  type t = Action.Id.t
+
+  let equal = Action.Id.equal
+  let hash (id : Action.Id.t) = Hashtbl.hash (id.server, id.index)
+end)
+
+(* Keep [reference]'s order, intersect with every other set.  Each set
+   is indexed once, so the intersection is O(sum of set sizes) instead
+   of the quadratic scan a list-of-lists membership test would cost per
+   view change. *)
 let intersect_ordered reference others =
-  List.filter
-    (fun id ->
-      List.for_all
-        (fun set -> List.exists (Action.Id.equal id) set)
-        others)
-    reference
+  match others with
+  | [] -> reference
+  | _ ->
+    let sets =
+      List.map
+        (fun ids ->
+          let tbl = Id_tbl.create (max 16 (2 * List.length ids)) in
+          List.iter (fun id -> Id_tbl.replace tbl id ()) ids;
+          tbl)
+        others
+    in
+    List.filter
+      (fun id -> List.for_all (fun tbl -> Id_tbl.mem tbl id) sets)
+      reference
 
 let compute ~members states =
   let state_of m =

@@ -25,6 +25,17 @@ let log_ongoing t a = Wlog.append t.log (E_ongoing a)
 let log_red t a = Wlog.append t.log (E_red a)
 let log_green t id = Wlog.append t.log (E_green id)
 let log_meta t m = Wlog.append t.log (E_meta m)
+
+(* Batch variants: one Wlog frame per call — one device write, one
+   checksum, and downstream one covering force for the whole batch. *)
+let log_ongoing_batch t actions =
+  Wlog.append_batch t.log (List.map (fun a -> E_ongoing a) actions)
+
+let log_red_batch t actions =
+  Wlog.append_batch t.log (List.map (fun a -> E_red a) actions)
+
+let log_green_batch t ids =
+  Wlog.append_batch t.log (List.map (fun id -> E_green id) ids)
 let log_checkpoint t c = Wlog.append t.log (E_checkpoint c)
 let sync t k = Wlog.sync t.log k
 let crash t = Wlog.crash t.log
@@ -233,9 +244,12 @@ let recover ~self t =
     (* The damaged suffix was in flight: its sync callback never fired,
        so no one — client, peer, or the engine's own continuation — was
        ever told it was durable.  Truncating it is indistinguishable
-       from having crashed a moment earlier. *)
-    let dropped = Wlog.length t.log - i in
+       from having crashed a moment earlier.  [i] is a frame index;
+       the verdict reports dropped *records*, so count them as the
+       length delta across the truncation. *)
+    let before = Wlog.length t.log in
     Wlog.truncate_damaged t.log ~from:i;
+    let dropped = before - Wlog.length t.log in
     finish ~verdict:(V_torn_tail dropped) ~meta_override:None ~action_floor:0
       rv.Wlog.rv_trusted
   | Wlog.Corrupt_interior i ->
@@ -265,8 +279,9 @@ let recover ~self t =
       }
     end
     else begin
-      let dropped = Wlog.length t.log - i in
+      let before = Wlog.length t.log in
       Wlog.truncate_damaged t.log ~from:i;
+      let dropped = before - Wlog.length t.log in
       let r =
         finish ~verdict:(V_salvaged dropped)
           ~meta_override:(newest_meta rv.Wlog.rv_readable)

@@ -29,6 +29,17 @@ val log_red : t -> Action.t -> unit
 val log_green : t -> Action.Id.t -> unit
 val log_meta : t -> Types.meta -> unit
 
+val log_ongoing_batch : t -> Action.t list -> unit
+(** A whole submission batch as {e one} log frame: one device write and
+    one covering [sync] make every record in it durable together, and a
+    crash loses or keeps the batch as a unit (frame-granular torn
+    tail).  The empty batch writes nothing. *)
+
+val log_red_batch : t -> Action.t list -> unit
+val log_green_batch : t -> Action.Id.t list -> unit
+(** One frame for a delivery burst's green marks (group commit: greens
+    are appended without forcing, like {!log_green}). *)
+
 (** A durable summary of everything up to a green position: the database
     snapshot at that point, the green line, and the per-creator green
     cuts.  Written by a replica instantiated from a state transfer
@@ -105,8 +116,8 @@ val recover : self:Node_id.t -> t -> recovered
     from whatever prefix survived. *)
 
 val corrupt_nth : t -> int -> bool
-(** Damage the [nth] log record (0-based, append order) — deterministic
-    fault injection for tests and the nemesis driver.  [false] when out
-    of range. *)
+(** Damage the log frame containing the [nth] record (0-based, append
+    order) — deterministic fault injection for tests and the nemesis
+    driver.  [false] when out of range. *)
 
 val entries_logged : t -> int

@@ -48,7 +48,7 @@ type cluster = {
   c_params : Params.t;
 }
 
-let make_cluster ?(net_config = Network.lan_100mbit) ?(params = Params.default)
+let make_cluster ?(net_config = Network.lan_gigabit) ?(params = Params.default)
     ?(seed = 11) ~nodes () =
   let c_sim = Sim.Engine.create ~seed () in
   let c_topology = Topology.create ~nodes in
@@ -89,6 +89,8 @@ type t = {
       (* joiner: version being received + contiguous chunks received *)
   weights : Quorum.weights;
   quorum_policy : Quorum.policy;
+  submit_delay : Sim.Time.t option;
+      (* end-to-end submission batching window (None: per-action) *)
   checkpoint_every : int option;
   mutable greens_since_checkpoint : int;
   mutable query_waiters : (unit -> unit) list; (* awaiting own-action drain *)
@@ -157,21 +159,29 @@ let flush_query_waiters t =
     List.iter (fun k -> k ()) waiters
   end
 
-let apply_green t (a : Action.t) =
-  t.greens_applied <- t.greens_applied + 1;
+(* Group-committed apply: one delivery burst's green actions execute
+   back to back against the database, with the per-burst bookkeeping
+   (dirty-cache invalidation, query-waiter flush, checkpoint cadence)
+   paid once instead of per action. *)
+let apply_green_batch t (actions : Action.t list) =
+  let n = List.length actions in
+  t.greens_applied <- t.greens_applied + n;
   t.dirty_cache <- None;
-  let response = Executor.execute t.db a in
-  (if Node_id.equal a.Action.id.server t.node_id then
-     match Hashtbl.find_opt t.pending a.Action.id with
-     | Some k ->
-       Hashtbl.remove t.pending a.Action.id;
-       k response
-     | None -> ());
+  List.iter
+    (fun (a : Action.t) ->
+      let response = Executor.execute t.db a in
+      if Node_id.equal a.Action.id.server t.node_id then
+        match Hashtbl.find_opt t.pending a.Action.id with
+        | Some k ->
+          Hashtbl.remove t.pending a.Action.id;
+          k response
+        | None -> ())
+    actions;
   flush_query_waiters t;
   match t.checkpoint_every with
-  | Some n ->
-    t.greens_since_checkpoint <- t.greens_since_checkpoint + 1;
-    if t.greens_since_checkpoint >= n then checkpoint_now t
+  | Some cadence ->
+    t.greens_since_checkpoint <- t.greens_since_checkpoint + n;
+    if t.greens_since_checkpoint >= cadence then checkpoint_now t
   | None -> ()
 
 let apply_red t (a : Action.t) =
@@ -251,7 +261,7 @@ let on_transfer_request t ~joiner ~join_green_count:_ =
 
 let make_callbacks t =
   {
-    Engine.on_green = (fun a -> apply_green t a);
+    Engine.on_green = (fun actions -> apply_green_batch t actions);
     on_red = (fun a -> apply_red t a);
     on_transfer_request =
       (fun ~joiner ~join_green_count ->
@@ -274,7 +284,12 @@ let make_endpoint t =
   in
   let ep =
     Endpoint.create ~network:t.cluster.c_net ~params:t.cluster.c_params
-      ~node:t.node_id ~on_event ()
+      ~node:t.node_id ~on_event
+      ~on_burst_start:(fun () ->
+        match t.engine with Some e -> Engine.begin_burst e | None -> ())
+      ~on_burst_end:(fun () ->
+        match t.engine with Some e -> Engine.end_burst e | None -> ())
+      ()
   in
   t.endpoint <- Some ep;
   ep
@@ -332,6 +347,7 @@ let on_transfer_msg t ~src msg =
             t.db <- Database.of_snapshot p.td_snapshot;
             let e =
               Engine.create_from_snapshot ~weights:t.weights
+                ?submit_delay:t.submit_delay
                 ~action_floor:(max p.td_joiner_floor t.amnesia_floor)
                 ~sim:t.cluster.c_sim
                 ~node:t.node_id ~servers:p.td_servers
@@ -360,7 +376,8 @@ let on_transfer_msg t ~src msg =
 
 let base ?(disk_config = Disk.default_forced) ?(attach_cpu = true)
     ?(checkpoint_every = Some 2000) ?(weights = Quorum.no_weights)
-    ?(quorum_policy = Quorum.Dynamic_linear) ~cluster ~node ~servers ~role () =
+    ?(quorum_policy = Quorum.Dynamic_linear) ?submit_delay ~cluster ~node
+    ~servers ~role () =
   let disk = Disk.create ~engine:cluster.c_sim ~config:disk_config () in
   let persist = Persist.create ~engine:cluster.c_sim ~disk () in
   let cpu =
@@ -390,6 +407,7 @@ let base ?(disk_config = Disk.default_forced) ?(attach_cpu = true)
       transfer_sessions = Hashtbl.create 4;
       weights;
       quorum_policy;
+      submit_delay;
       checkpoint_every;
       greens_since_checkpoint = 0;
       query_waiters = [];
@@ -412,16 +430,16 @@ let base ?(disk_config = Disk.default_forced) ?(attach_cpu = true)
   t
 
 let create ?disk_config ?attach_cpu ?checkpoint_every ?weights ?quorum_policy
-    ~cluster ~node ~servers () =
+    ?submit_delay ~cluster ~node ~servers () =
   let servers = Node_id.set_of_list servers in
   let t =
     base ?disk_config ?attach_cpu ?checkpoint_every ?weights ?quorum_policy
-      ~cluster ~node ~servers ~role:Static ()
+      ?submit_delay ~cluster ~node ~servers ~role:Static ()
   in
   let e =
     Engine.create ~weights:t.weights ~quorum_policy:t.quorum_policy
-      ~sim:cluster.c_sim ~node ~servers ~persist:t.persist
-      ~callbacks:(make_callbacks t) ()
+      ?submit_delay:t.submit_delay ~sim:cluster.c_sim ~node ~servers
+      ~persist:t.persist ~callbacks:(make_callbacks t) ()
   in
   adopt_engine t e;
   (* installs the event handler; nothing is multicast until the network
@@ -430,9 +448,9 @@ let create ?disk_config ?attach_cpu ?checkpoint_every ?weights ?quorum_policy
   ignore (make_endpoint t);
   t
 
-let create_joiner ?disk_config ?attach_cpu ?checkpoint_every
+let create_joiner ?disk_config ?attach_cpu ?checkpoint_every ?submit_delay
     ?(retry_interval = Sim.Time.of_ms 500.) ~cluster ~node ~sponsors () =
-  base ?disk_config ?attach_cpu ?checkpoint_every ~cluster ~node
+  base ?disk_config ?attach_cpu ?checkpoint_every ?submit_delay ~cluster ~node
     ~servers:Node_id.Set.empty
     ~role:(Joiner { sponsors; retry = retry_interval })
     ()
@@ -493,13 +511,15 @@ let dirty_db t =
   match t.engine with
   | None -> t.db
   | Some e -> (
-    let reds = Engine.red_actions e in
-    let key = (Database.version t.db, List.length reds) in
+    (* Cache key in O(1): building the red list is deferred to a miss. *)
+    let key = (Database.version t.db, Engine.red_count e) in
     match t.dirty_cache with
     | Some (v, r, cached) when (v, r) = key -> cached
     | _ ->
       let copy = Database.copy t.db in
-      List.iter (fun a -> ignore (Executor.execute copy a)) reds;
+      List.iter
+        (fun a -> ignore (Executor.execute copy a))
+        (Engine.red_actions e);
       t.dirty_cache <- Some (fst key, snd key, copy);
       copy)
 
@@ -582,9 +602,9 @@ let recover t =
       amnesiac_rejoin t
     | Persist.V_clean | Persist.V_torn_tail _ | Persist.V_salvaged _ ->
       let e, snapshot, greens =
-        Engine.recover ~weights:t.weights ~recovered:r ~sim:t.cluster.c_sim
-          ~node:t.node_id ~servers:t.servers ~persist:t.persist
-          ~callbacks:(make_callbacks t) ()
+        Engine.recover ~weights:t.weights ?submit_delay:t.submit_delay
+          ~recovered:r ~sim:t.cluster.c_sim ~node:t.node_id ~servers:t.servers
+          ~persist:t.persist ~callbacks:(make_callbacks t) ()
       in
       (* Rebuild the database: restore the latest durable checkpoint, then
          replay the green actions logged after it. *)

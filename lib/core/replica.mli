@@ -33,6 +33,7 @@ val create :
   ?checkpoint_every:int option ->
   ?weights:Quorum.weights ->
   ?quorum_policy:Quorum.policy ->
+  ?submit_delay:Repro_sim.Time.t ->
   cluster:cluster ->
   node:Node_id.t ->
   servers:Node_id.t list ->
@@ -43,12 +44,15 @@ val create :
     [checkpoint_every] (default [Some 2000]) takes a durable checkpoint —
     database snapshot + green knowledge, followed by log compaction and
     white-action garbage collection — every that many applied actions;
-    [None] disables checkpointing. *)
+    [None] disables checkpointing.  [submit_delay] enables end-to-end
+    submission batching (see {!Engine.create}); it survives crash
+    recovery and joiner instantiation. *)
 
 val create_joiner :
   ?disk_config:Disk.config ->
   ?attach_cpu:bool ->
   ?checkpoint_every:int option ->
+  ?submit_delay:Repro_sim.Time.t ->
   ?retry_interval:Repro_sim.Time.t ->
   cluster:cluster ->
   node:Node_id.t ->

@@ -106,6 +106,10 @@ type 'p t = {
   prm : Params.t;
   node : Node_id.t;
   on_event : 'p event -> unit;
+  on_burst_start : unit -> unit;
+  on_burst_end : unit -> unit;
+    (* bracket every run of consecutive [on_event] calls (a delivery
+       burst): the layer above group-commits its work per burst *)
   mutable status : status;
   mutable conf : 'p conf_state option;
     (* last installed configuration; retained during membership changes
@@ -234,28 +238,35 @@ let recompute_safe cs =
   if min_ack > cs.safe_upto then cs.safe_upto <- min_ack
 
 (* Deliver every ready message: next in sequence, present, and either
-   agreed service or within the safe prefix. *)
-let rec try_deliver t cs =
-  let next = cs.delivered_upto + 1 in
-  match Hashtbl.find_opt cs.store next with
-  | None -> ()
-  | Some d ->
-    let deliverable =
-      match d.d_service with Agreed -> true | Safe -> next <= cs.safe_upto
-    in
-    if deliverable then begin
-      cs.delivered_upto <- next;
-      t.on_event
-        (Deliver
-           {
-             sender = d.d_sender;
-             payload = d.d_payload;
-             conf = d.d_conf;
-             seq = next;
-             in_regular = true;
-           });
-      try_deliver t cs
-    end
+   agreed service or within the safe prefix.  The whole run is one
+   delivery burst: an ack or order batch typically releases several
+   messages at once, and the application applies them as one group. *)
+let try_deliver t cs =
+  let rec loop () =
+    let next = cs.delivered_upto + 1 in
+    match Hashtbl.find_opt cs.store next with
+    | None -> ()
+    | Some d ->
+      let deliverable =
+        match d.d_service with Agreed -> true | Safe -> next <= cs.safe_upto
+      in
+      if deliverable then begin
+        cs.delivered_upto <- next;
+        t.on_event
+          (Deliver
+             {
+               sender = d.d_sender;
+               payload = d.d_payload;
+               conf = d.d_conf;
+               seq = next;
+               in_regular = true;
+             });
+        loop ()
+      end
+  in
+  t.on_burst_start ();
+  loop ();
+  t.on_burst_end ()
 
 (* Messages below the safe line are held by every member (safe = everyone
    acked contiguous receipt), so they can never be needed for
@@ -672,6 +683,7 @@ and coord_check_install t fs =
    leftover messages that could not be safe-delivered, then the new
    regular configuration. *)
 and install t fs =
+  t.on_burst_start ();
   (match t.conf with
   | Some cs ->
     let trans_members = Node_id.Set.inter fs.fl_group fs.fl_members in
@@ -706,6 +718,7 @@ and install t fs =
   let now = Engine.now t.engine in
   Node_id.Set.iter (fun m -> Hashtbl.replace t.last_heard m now) new_view.members;
   t.on_event (Reg_conf new_view);
+  t.on_burst_end ();
   drain_outbox t cs
 
 (* ------------------------------------------------------------------ *)
@@ -880,7 +893,8 @@ let rec periodic t =
          | _ -> ());
          periodic t))
 
-let create ~network ~params ~node ~on_event () =
+let create ?(on_burst_start = fun () -> ()) ?(on_burst_end = fun () -> ())
+    ~network ~params ~node ~on_event () =
   let t =
     {
       net = network;
@@ -888,6 +902,8 @@ let create ~network ~params ~node ~on_event () =
       prm = params;
       node;
       on_event;
+      on_burst_start;
+      on_burst_end;
       status = Idle;
       conf = None;
       outbox = [];

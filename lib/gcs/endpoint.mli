@@ -64,13 +64,21 @@ type 'p wire
     ['p wire Network.t] the endpoints of one group share. *)
 
 val create :
+  ?on_burst_start:(unit -> unit) ->
+  ?on_burst_end:(unit -> unit) ->
   network:'p wire Network.t ->
   params:Params.t ->
   node:Node_id.t ->
   on_event:('p event -> unit) ->
   unit ->
   'p t
-(** Creates and registers the endpoint; it stays passive until {!join}. *)
+(** Creates and registers the endpoint; it stays passive until {!join}.
+
+    [on_burst_start]/[on_burst_end] (default: no-ops) bracket every run
+    of consecutive [on_event] calls released together — the messages a
+    single ack or order batch makes deliverable, or a view change's
+    transitional/leftover/regular sequence — so the layer above can
+    group-commit its per-delivery work once per burst. *)
 
 val node : 'p t -> Node_id.t
 val params : 'p t -> Params.t

@@ -27,7 +27,9 @@ type t = {
 
 val default : t
 (** LAN-scale defaults: partitions detected within ~100 ms, merges within
-    ~250 ms, sub-millisecond ordering and ack batching. *)
+    ~250 ms, and an ordering/ack cadence (50/150 µs) sized so the safe-
+    delivery pipeline, not the batching timers, bounds hot-path latency
+    on a gigabit network. *)
 
 val wan : t
 (** Wide-area defaults: every window sized for tens-of-milliseconds

@@ -13,6 +13,7 @@ type t = {
   w_checkpoint_every : int option option;
       (* [None] = Replica's default; [Some c] = explicit setting *)
   w_quorum_policy : Quorum.policy;
+  w_submit_delay : Sim.Time.t option;
 }
 
 let default_net =
@@ -28,7 +29,7 @@ let default_disk =
 
 let make ?(net_config = default_net) ?(params = Repro_gcs.Params.fast)
     ?(disk_config = default_disk) ?(attach_cpu = false) ?checkpoint_every
-    ?quorum_policy ?(seed = 17) ~n () =
+    ?quorum_policy ?(seed = 17) ?submit_delay ~n () =
   let nodes = List.init n Fun.id in
   let cluster = Replica.make_cluster ~net_config ~params ~seed ~nodes () in
   let replicas = Hashtbl.create n in
@@ -36,7 +37,7 @@ let make ?(net_config = default_net) ?(params = Repro_gcs.Params.fast)
     (fun node ->
       let r =
         Replica.create ~disk_config ~attach_cpu ?checkpoint_every
-          ?quorum_policy ~cluster ~node ~servers:nodes ()
+          ?quorum_policy ?submit_delay ~cluster ~node ~servers:nodes ()
       in
       Hashtbl.replace replicas node r;
       Replica.start r)
@@ -50,6 +51,7 @@ let make ?(net_config = default_net) ?(params = Repro_gcs.Params.fast)
     w_checkpoint_every = checkpoint_every;
     w_quorum_policy =
       Option.value quorum_policy ~default:Quorum.Dynamic_linear;
+    w_submit_delay = submit_delay;
   }
 
 let sim t = Replica.cluster_sim t.w_cluster
@@ -67,7 +69,7 @@ let add_joiner t ~node ~sponsors =
   let r =
     Replica.create_joiner ~disk_config:t.w_disk_config
       ~attach_cpu:t.w_attach_cpu ?checkpoint_every:t.w_checkpoint_every
-      ~cluster:t.w_cluster ~node ~sponsors ()
+      ?submit_delay:t.w_submit_delay ~cluster:t.w_cluster ~node ~sponsors ()
   in
   Hashtbl.replace t.w_replicas node r;
   t.w_nodes <- t.w_nodes @ [ node ];

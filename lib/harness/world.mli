@@ -16,11 +16,13 @@ val make :
   ?checkpoint_every:int option ->
   ?quorum_policy:Quorum.policy ->
   ?seed:int ->
+  ?submit_delay:Repro_sim.Time.t ->
   n:int ->
   unit ->
   t
 (** [n] replicas on nodes [0..n-1], started.  [disk_config] (and its
-    fault model) and [checkpoint_every] apply to every replica,
+    fault model), [checkpoint_every] and [submit_delay] (end-to-end
+    submission batching, see {!Replica.create}) apply to every replica,
     joiners included. *)
 
 val sim : t -> Repro_sim.Engine.t

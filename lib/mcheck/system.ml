@@ -94,6 +94,8 @@ let digest_yellow (y : Types.yellow) =
 
 let digest_payload = function
   | Types.Action_msg a -> "act " ^ digest_action a
+  | Types.Action_batch actions ->
+    Printf.sprintf "batch[%s]" (digest_actions actions)
   | Types.Retrans_green { g_from; g_actions } ->
     Printf.sprintf "green %d[%s]" g_from (digest_actions g_actions)
   | Types.Retrans_red actions ->

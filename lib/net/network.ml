@@ -21,6 +21,17 @@ let lan_100mbit =
     recv_cpu_per_kb = Time.of_us 500;
   }
 
+let lan_gigabit =
+  {
+    propagation = Time.of_us 30;
+    bandwidth_bytes_per_sec = 125_000_000.; (* 1 Gbit/s *)
+    jitter = 0.05;
+    loss_probability = 0.;
+    send_cpu_cost = Time.of_us 5;
+    recv_cpu_cost = Time.of_us 3;
+    recv_cpu_per_kb = Time.of_us 20;
+  }
+
 let wan_default =
   {
     propagation = Time.of_ms 30.;

@@ -1,17 +1,21 @@
 open Repro_sim
 
-(* Record framing: each entry carries a monotonic sequence number and a
-   checksum.  The simulation does not store real bytes, so the checksum
+(* Frame framing: entries are grouped into *frames* — the unit of
+   logging, checksumming and crash damage.  A frame carries one
+   monotonic sequence number and one checksum covering all of its
+   records; a frame of one record is exactly the old per-record
+   framing.  The simulation does not store real bytes, so the checksum
    is modelled by [sum_ok] — whether the stored checksum would still
-   verify against the record body — flipped by the disk's fault model
+   verify against the frame body — flipped by the disk's fault model
    (torn in-flight writes, crash-time corruption) or by explicit
-   injection. *)
-type 'entry stamped = {
-  entry : 'entry;
+   injection.  Damage is all-or-nothing at frame granularity: a failing
+   frame checksum says nothing about which record inside went bad. *)
+type 'entry frame = {
+  records : 'entry array; (* append order within the frame *)
   epoch : int;
   seq : int;
   mutable sum_ok : bool;
-  mutable torn : bool; (* damaged as the in-flight record of a crash *)
+  mutable torn : bool; (* damaged as the in-flight frame of a crash *)
 }
 
 type verdict =
@@ -34,19 +38,32 @@ type 'entry recovery = {
 
 type 'entry t = {
   disk : Disk.t;
-  mutable entries : 'entry stamped list; (* newest first *)
+  mutable frames : 'entry frame list; (* newest first *)
   mutable next_seq : int; (* never reset: survives compaction and reset *)
+  mutable record_count : int; (* sum of frame sizes: O(1) [length] *)
 }
 
-let create ~engine:_ ~disk () = { disk; entries = []; next_seq = 0 }
+let create ~engine:_ ~disk () =
+  { disk; frames = []; next_seq = 0; record_count = 0 }
+
 let disk t = t.disk
 
-let append t entry =
-  let epoch = Disk.note_write t.disk in
-  let seq = t.next_seq in
-  t.next_seq <- seq + 1;
-  t.entries <- { entry; epoch; seq; sum_ok = true; torn = false } :: t.entries
+(* One frame, one device write, one sequence number — however many
+   records ride inside.  The empty batch is a no-op (no frame, no
+   write): it must not burn a sequence number that recovery would then
+   see as a silent gap. *)
+let append_batch t entries =
+  match entries with
+  | [] -> ()
+  | _ ->
+    let epoch = Disk.note_write t.disk in
+    let seq = t.next_seq in
+    t.next_seq <- seq + 1;
+    let records = Array.of_list entries in
+    t.record_count <- t.record_count + Array.length records;
+    t.frames <- { records; epoch; seq; sum_ok = true; torn = false } :: t.frames
 
+let append t entry = append_batch t [ entry ]
 let sync t k = Disk.force t.disk k
 
 let append_sync t entry k =
@@ -57,11 +74,12 @@ let crash t =
   Disk.crash t.disk;
   let durable = Disk.last_durable_epoch t.disk in
   let survivors, lost =
-    List.partition (fun s -> s.epoch <= durable) t.entries
+    List.partition (fun f -> f.epoch <= durable) t.frames
   in
-  (* The oldest unsynced record is the one the platter was writing when
+  (* The oldest unsynced frame is the one the platter was writing when
      the crash hit: it may survive torn (present but failing its
-     checksum).  Everything younger never reached the device. *)
+     checksum, all of its records suspect at once).  Everything younger
+     never reached the device. *)
   let torn_survivor =
     match List.rev lost with
     | oldest :: _ when Disk.draw_torn_tail t.disk ->
@@ -70,15 +88,17 @@ let crash t =
       [ oldest ]
     | _ -> []
   in
-  (* Crash-time corruption of durable records, oldest first so the
+  (* Crash-time corruption of durable frames, oldest first so the
      seeded draw order is stable. *)
   List.iter
-    (fun s -> if Disk.draw_corrupt t.disk then s.sum_ok <- false)
+    (fun f -> if Disk.draw_corrupt t.disk then f.sum_ok <- false)
     (List.rev survivors);
-  t.entries <- torn_survivor @ survivors
+  t.frames <- torn_survivor @ survivors;
+  t.record_count <-
+    List.fold_left (fun n f -> n + Array.length f.records) 0 t.frames
 
 (* One framed read: transient errors are retried with exponential
-   backoff up to the disk's budget; a record still unreadable after that
+   backoff up to the disk's budget; a frame still unreadable after that
    counts as damaged (we cannot tell a dying sector from a corrupt one). *)
 let read_record t ~retries ~backoff =
   let f = Disk.faults t.disk in
@@ -97,28 +117,28 @@ let read_record t ~retries ~backoff =
 let recover t =
   let retries = ref 0 in
   let backoff = ref Time.zero in
-  let records =
+  let frames =
     List.rev_map
-      (fun s ->
-        let readable =
-          s.sum_ok && read_record t ~retries ~backoff
-        in
-        (s, readable))
-      t.entries
+      (fun f ->
+        let readable = f.sum_ok && read_record t ~retries ~backoff in
+        (f, readable))
+      t.frames
   in
-  (* Verify the chain oldest-first: a record is damaged when its
-     checksum fails, it is unreadable, or its sequence number does not
-     advance the chain (reordered or duplicated frame). *)
+  (* Verify the chain oldest-first: a frame is damaged when its checksum
+     fails, it is unreadable, or its sequence number does not advance
+     the chain (reordered or duplicated frame).  All verdict positions
+     are frame indices — damage is only detectable per frame. *)
   let damaged = ref [] in
   let prev_seq = ref min_int in
   List.iteri
-    (fun i (s, readable) ->
-      if (not readable) || s.seq <= !prev_seq then damaged := i :: !damaged
-      else prev_seq := s.seq)
-    records;
+    (fun i (f, readable) ->
+      if (not readable) || f.seq <= !prev_seq then damaged := i :: !damaged
+      else prev_seq := f.seq)
+    frames;
   let readable_entries =
-    List.filter_map (fun (s, readable) -> if readable then Some s.entry else None)
-      records
+    List.concat_map
+      (fun (f, readable) -> if readable then Array.to_list f.records else [])
+      frames
   in
   let verdict =
     match List.rev !damaged with
@@ -126,11 +146,11 @@ let recover t =
     | first :: _ ->
       let all_after_damaged =
         List.for_all (fun (i, _) -> i < first || List.mem i !damaged)
-          (List.mapi (fun i r -> (i, r)) records)
+          (List.mapi (fun i r -> (i, r)) frames)
       in
       let first_is_torn =
-        match List.nth_opt records first with
-        | Some (s, _) -> s.torn
+        match List.nth_opt frames first with
+        | Some (f, _) -> f.torn
         | None -> false
       in
       if first_is_torn && all_after_damaged then Torn_tail first
@@ -138,10 +158,10 @@ let recover t =
   in
   let trusted =
     match verdict with
-    | Clean -> List.map (fun (s, _) -> s.entry) records
+    | Clean -> List.concat_map (fun (f, _) -> Array.to_list f.records) frames
     | Torn_tail first | Corrupt_interior first ->
-      List.filteri (fun i _ -> i < first) records
-      |> List.map (fun (s, _) -> s.entry)
+      List.filteri (fun i _ -> i < first) frames
+      |> List.concat_map (fun (f, _) -> Array.to_list f.records)
   in
   {
     rv_verdict = verdict;
@@ -151,22 +171,49 @@ let recover t =
     rv_backoff = !backoff;
   }
 
-let length t = List.length t.entries
+let length t = t.record_count
+let frame_count t = List.length t.frames
 
 let truncate_damaged t ~from =
-  t.entries <-
-    List.rev (List.filteri (fun i _ -> i < from) (List.rev t.entries))
+  t.frames <-
+    List.rev (List.filteri (fun i _ -> i < from) (List.rev t.frames));
+  t.record_count <-
+    List.fold_left (fun n f -> n + Array.length f.records) 0 t.frames
 
-let reset t = t.entries <- []
+let reset t =
+  t.frames <- [];
+  t.record_count <- 0
 
 let corrupt t ~nth =
-  match List.nth_opt (List.rev t.entries) nth with
-  | Some s ->
-    s.sum_ok <- false;
-    true
-  | None -> false
+  (* Record-addressed: damaging record [nth] fails the checksum of the
+     frame containing it — per-frame checksums cannot localize further. *)
+  let rec find base = function
+    | [] -> false
+    | f :: rest ->
+      let n = Array.length f.records in
+      if nth < base + n then begin
+        f.sum_ok <- false;
+        true
+      end
+      else find (base + n) rest
+  in
+  if nth < 0 then false else find 0 (List.rev t.frames)
 
 let compact t ~keep =
-  (* [keep] may be stateful and expects append order (oldest first). *)
-  t.entries <-
-    List.rev (List.filter (fun s -> keep s.entry) (List.rev t.entries))
+  (* [keep] may be stateful and expects append order (oldest first).
+     Frames are preserved as units — dropping individual records keeps
+     the frame's header (seq, epoch) so the sequence chain that
+     recovery verifies stays intact; only fully-emptied frames are
+     dropped. *)
+  let kept =
+    List.filter_map
+      (fun f ->
+        let records =
+          Array.of_list (List.filter keep (Array.to_list f.records))
+        in
+        if Array.length records = 0 then None else Some { f with records })
+      (List.rev t.frames)
+  in
+  t.frames <- List.rev kept;
+  t.record_count <-
+    List.fold_left (fun n f -> n + Array.length f.records) 0 t.frames

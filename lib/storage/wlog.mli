@@ -1,43 +1,50 @@
 open Repro_sim
 
-(** A typed write-ahead log on top of a simulated {!Disk}, with record
-    framing: every appended entry carries a per-record checksum and a
-    monotonic sequence number.
+(** A typed write-ahead log on top of a simulated {!Disk}, with frame
+    framing: entries are grouped into *frames*, each carrying one
+    per-frame checksum and one monotonic sequence number covering all
+    of its records.  [append] writes a one-record frame; [append_batch]
+    amortizes the header, the device write and (downstream) the force
+    over a whole batch.
 
     Entries are appended to the device buffer immediately; [sync]
     confirms durability of everything appended so far.  On [crash],
-    entries whose stamp is newer than the disk's last durable epoch are
+    frames whose stamp is newer than the disk's last durable epoch are
     lost (in [Delayed] mode this can include acknowledged entries —
     the Figure 5(b) trade-off), and the disk's fault model may leave a
-    *torn* in-flight record behind or corrupt durable ones.
+    *torn* in-flight frame behind or corrupt durable ones.
 
-    [recover] verifies the framing record by record and returns a typed
-    verdict instead of silently trusting the bytes:
-    - {!Clean}: every record checks out;
-    - [Torn_tail i]: the records from position [i] on are damaged and
+    [recover] verifies the framing frame by frame and returns a typed
+    verdict instead of silently trusting the bytes.  Verdict positions
+    are {e frame} indices — a frame's checksum is all-or-nothing, so
+    damage cannot be localized below frame granularity:
+    - {!Clean}: every frame checks out;
+    - [Torn_tail i]: the frames from position [i] on are damaged and
       the damage starts at the in-flight (never-synced) suffix — the
-      log is intact up to [i] and truncation is safe, because an
+      log is intact up to frame [i] and truncation is safe, because an
       unsynced suffix is indistinguishable from a crash just before
       the write;
-    - [Corrupt_interior i]: record [i] is damaged but was durable (or
-      readable records follow it) — the caller must decide between
+    - [Corrupt_interior i]: frame [i] is damaged but was durable (or
+      readable frames follow it) — the caller must decide between
       salvaging the trusted prefix and discarding the log. *)
 
 type verdict =
   | Clean
-  | Torn_tail of int  (** first damaged position (0-based, append order) *)
-  | Corrupt_interior of int  (** first damaged position *)
+  | Torn_tail of int
+      (** first damaged frame position (0-based, append order) *)
+  | Corrupt_interior of int  (** first damaged frame position *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
 type 'entry recovery = {
   rv_verdict : verdict;
   rv_trusted : 'entry list;
-      (** the verified prefix before the first damage, oldest first *)
+      (** the records of the verified frames before the first damage,
+          oldest first *)
   rv_readable : 'entry list;
-      (** every record whose checksum verifies, including those beyond
-          the first damage, oldest first — salvage material only: the
-          sequence chain through them is broken *)
+      (** every record of a frame whose checksum verifies, including
+          frames beyond the first damage, oldest first — salvage
+          material only: the sequence chain through them is broken *)
   rv_read_retries : int;
       (** transient read errors retried during this recovery *)
   rv_backoff : Time.t;
@@ -51,11 +58,17 @@ val create : engine:Engine.t -> disk:Disk.t -> unit -> 'entry t
 val disk : 'entry t -> Disk.t
 
 val append : 'entry t -> 'entry -> unit
-(** Buffer an entry; not yet durable.  Frames it with the next sequence
-    number and a checksum. *)
+(** Buffer a one-record frame; not yet durable.  Frames it with the
+    next sequence number and a checksum. *)
+
+val append_batch : 'entry t -> 'entry list -> unit
+(** Buffer all entries as {e one} frame: one sequence number, one
+    checksum, one device write — so one covering [sync] makes the whole
+    batch durable together, and a crash loses or keeps it as a unit.
+    The empty batch is a no-op (no frame is written). *)
 
 val sync : 'entry t -> (unit -> unit) -> unit
-(** Make all appended entries durable; callback on completion
+(** Make all appended frames durable; callback on completion
     (group-committed with concurrent syncs on the same disk).  In
     [Delayed] disk mode, the callback fires quickly and durability is
     *not* guaranteed. *)
@@ -66,38 +79,48 @@ val append_sync : 'entry t -> 'entry -> (unit -> unit) -> unit
 val crash : 'entry t -> unit
 (** Applies crash semantics: the non-durable suffix is discarded —
     except that, under the disk's fault model, the oldest in-flight
-    record may survive torn (damaged) and durable records may be
-    corrupted. *)
+    frame may survive torn (damaged as a unit) and durable frames may
+    be corrupted. *)
 
 val recover : 'entry t -> 'entry recovery
 (** Verify and read the log, oldest first.  Valid any time; after
     [crash] it reflects the lost suffix.  Transient read errors are
     retried with exponential backoff (bounded by the disk's fault
-    config); a record still unreadable after the retry budget counts as
+    config); a frame still unreadable after the retry budget counts as
     damaged.  Call through [Repro_core.Persist.recover] — the lint rule
     [no-wlog-recover-outside-persist] keeps every recovery on the
     verdict-aware path. *)
 
 val truncate_damaged : 'entry t -> from:int -> unit
-(** Physically truncate the log at position [from] (0-based, append
-    order): records [from..] are dropped.  Used after a [Torn_tail]
-    (safe) or when salvaging a [Corrupt_interior] prefix. *)
+(** Physically truncate the log at frame position [from] (0-based,
+    append order): frames [from..] are dropped.  Used after a
+    [Torn_tail] (safe) or when salvaging a [Corrupt_interior] prefix. *)
 
 val reset : 'entry t -> unit
 (** Discard the whole log (amnesiac recovery: the replica abandons its
     local state and will rejoin by state transfer). *)
 
 val corrupt : 'entry t -> nth:int -> bool
-(** Damage the checksum of the [nth] record (0-based, append order);
-    [false] when out of range.  Deterministic fault injection for tests
-    and the nemesis driver. *)
+(** Damage the checksum of the frame containing the [nth] {e record}
+    (0-based, append order); [false] when out of range.  Record-
+    addressed so fault-injection sites need not know the frame
+    layout; a per-frame checksum cannot fail for one record alone.
+    Deterministic fault injection for tests and the nemesis driver. *)
 
 val compact : 'entry t -> keep:('entry -> bool) -> unit
-(** Drops entries for which [keep] is false; [keep] is applied in append
-    order (oldest first), so it may carry state.  Models atomically
-    switching to a freshly written log segment, so it should only be
-    called when the retained entries' durability has been established
-    (e.g. right after a checkpoint sync). *)
+(** Drops records for which [keep] is false; [keep] is applied in
+    append order (oldest first), so it may carry state.  Frames are
+    kept as units (their headers survive so the recovery sequence
+    chain stays intact); fully-emptied frames are dropped.  Models
+    atomically switching to a freshly written log segment, so it
+    should only be called when the retained entries' durability has
+    been established (e.g. right after a checkpoint sync). *)
 
 val length : 'entry t -> int
-(** Entries currently in the log (durable or not). *)
+(** Records currently in the log (durable or not), across all frames.
+    O(1): the count is maintained through appends, [compact],
+    [truncate_damaged], [crash] and [reset]. *)
+
+val frame_count : 'entry t -> int
+(** Frames currently in the log.  [frame_count t <= length t], with
+    equality when every frame holds a single record. *)

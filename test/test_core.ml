@@ -522,6 +522,55 @@ let make_persist () =
   in
   (sim, Persist.create ~engine:sim ~disk ())
 
+let test_persist_torn_batch_fifo_gap_free () =
+  (* A delivery burst logged as one multi-record frame must be lost or
+     kept as a unit: a crash that tears the in-flight frame may not
+     leave a creator's FIFO with a gap (say, index 3 salvaged while
+     index 2 died with the frame). *)
+  let sim = Repro_sim.Engine.create () in
+  let disk =
+    Repro_storage.Disk.create ~engine:sim
+      ~config:
+        {
+          Repro_storage.Disk.default_forced with
+          sync_latency = Time.of_ms 1.;
+          sync_jitter = 0.;
+          faults =
+            { Repro_storage.Disk.no_faults with torn_tail_on_crash = 1.0 };
+        }
+      ()
+  in
+  let persist = Persist.create ~engine:sim ~disk () in
+  let a cr i = Action.make ~server:cr ~index:i (Action.Update []) in
+  Persist.log_red persist (a 1 1);
+  Persist.log_red persist (a 2 1);
+  Persist.sync persist ignore;
+  Repro_sim.Engine.run sim;
+  (* One in-flight burst frame carrying creator 1's next two actions. *)
+  Persist.log_red_batch persist [ a 1 2; a 1 3 ];
+  Persist.crash persist;
+  let r = Persist.recover ~self:0 persist in
+  (match r.Persist.r_verdict with
+  | Persist.V_torn_tail n ->
+    Alcotest.(check int) "the whole frame was truncated" 2 n
+  | v ->
+    Alcotest.failf "expected a torn tail, got %a" Persist.pp_verdict v);
+  Alcotest.(check (list (pair int int)))
+    "durable reds survive in arrival order, no partial batch"
+    [ (1, 1); (2, 1) ]
+    (List.map
+       (fun act ->
+         (act.Action.id.Action.Id.server, act.Action.id.Action.Id.index))
+       r.Persist.r_red);
+  List.iter
+    (fun (creator, expected) ->
+      Alcotest.(check int)
+        (Printf.sprintf "creator %d red cut is gap-free" creator)
+        expected
+        (Option.value ~default:0
+           (Node_id.Map.find_opt creator r.Persist.r_red_cut)))
+    [ (1, 1); (2, 1) ]
+
 let prop_persist_recovery_invariants =
   (* Random interleavings of ongoing/red/green logging from 3 creators:
      recovery must produce a contiguous red cut per creator, greens in
@@ -943,6 +992,8 @@ let () =
           Alcotest.test_case "action queue basics" `Quick test_action_queue_basics;
           Alcotest.test_case "action queue floor" `Quick test_action_queue_floor;
           Alcotest.test_case "action queue discard" `Quick test_action_queue_discard;
+          Alcotest.test_case "torn batch keeps FIFO gap-free" `Quick
+            test_persist_torn_batch_fifo_gap_free;
           QCheck_alcotest.to_alcotest prop_persist_recovery_invariants;
           QCheck_alcotest.to_alcotest prop_knowledge_green_plan_covers;
           QCheck_alcotest.to_alcotest prop_knowledge_red_duties_cover;

@@ -316,6 +316,45 @@ let test_fifo_order_per_client () =
   | _ -> Alcotest.fail "final value must be the last write");
   repcheck_ok mon
 
+(* A submission batch spanning a checkpoint: with end-to-end batching
+   on and a tight checkpoint cadence, one burst of submissions is
+   framed together while the apply side cuts a checkpoint (and
+   compacts the log) in the middle of it.  The framing must not tear:
+   the submitter crashes afterwards, recovers from the checkpointed
+   log, and everything converges. *)
+let test_batch_spans_checkpoint () =
+  let w =
+    World.make ~seed:58 ~checkpoint_every:(Some 8)
+      ~submit_delay:(Repro_sim.Time.of_us 200) ~n:3 ()
+  in
+  let mon = World.attach_monitor w in
+  run w ~ms:1000.;
+  (* One instantaneous burst of 30 updates from a single node: with a
+     200 us submission window they are framed into batches, and with a
+     checkpoint every 8 greens the burst straddles several checkpoint
+     boundaries. *)
+  for i = 1 to 30 do
+    World.submit_update w ~node:0 ~key:(Printf.sprintf "k%d" (i mod 7)) i
+  done;
+  run w ~ms:3000.;
+  let submitter = World.replica w 0 in
+  let stats = Engine.stats (Replica.engine submitter) in
+  Alcotest.(check bool) "submissions were actually batched" true
+    (stats.Engine.s_batched_submissions > stats.Engine.s_submit_batches);
+  Alcotest.(check int) "all 30 applied everywhere" 30
+    (List.fold_left
+       (fun acc r -> min acc (Replica.greens_applied r))
+       max_int (World.replicas w));
+  (* Checkpoints compacted the log: nowhere near 30 actions x ~2
+     records each. *)
+  Alcotest.(check bool) "checkpointing compacted the log" true
+    (Replica.log_entries submitter < 40);
+  Replica.crash submitter;
+  run w ~ms:500.;
+  World.heal_and_settle ~ms:5000. w;
+  all_consistent ~converged:true w;
+  repcheck_ok mon
+
 let () =
   Alcotest.run "integration"
     [
@@ -344,5 +383,7 @@ let () =
           Alcotest.test_case "repeated partitions converge" `Slow
             test_repeated_partitions_converge;
           Alcotest.test_case "fifo per client" `Quick test_fifo_order_per_client;
+          Alcotest.test_case "batch spans a checkpoint" `Quick
+            test_batch_spans_checkpoint;
         ] );
     ]

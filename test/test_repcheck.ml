@@ -318,6 +318,50 @@ let test_determinism_seed_matrix () =
         [] diff)
     [ 7; 13; 99 ]
 
+(* Submission batching must change only the framing and timing of the
+   hot path, never the replicated state.  A single submitting node
+   keeps the green order config-independent, so after quiescence the
+   protocol-state fingerprint (no clock line: virtual time legitimately
+   differs across configs) must be identical between a batched and an
+   unbatched run — and each batched run must itself stay deterministic. *)
+let batch_scenario ~submit_delay seed () =
+  let w = World.make ?submit_delay ~seed ~n:3 () in
+  World.run w ~ms:800.;
+  for i = 1 to 25 do
+    World.submit_update w ~node:0 ~key:(Printf.sprintf "k%d" (i mod 5)) i
+  done;
+  World.run w ~ms:3000.;
+  Check.Determinism.fingerprint (World.replicas w)
+
+let batching_seeds = [ 5; 21; 42 ]
+
+let test_determinism_batched_runs () =
+  List.iter
+    (fun seed ->
+      let run =
+        batch_scenario
+          ~submit_delay:(Some (Repro_sim.Time.of_us 250))
+          seed
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %d: batched run is deterministic" seed)
+        []
+        (Check.Determinism.check ~run ()))
+    batching_seeds
+
+let test_determinism_batched_matches_unbatched () =
+  List.iter
+    (fun seed ->
+      let unbatched = batch_scenario ~submit_delay:None seed () in
+      let batched =
+        batch_scenario ~submit_delay:(Some (Repro_sim.Time.of_us 250)) seed ()
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "seed %d: batched state == unbatched state" seed)
+        []
+        (Check.Determinism.diff unbatched batched))
+    batching_seeds
+
 let test_determinism_diff_detects () =
   Alcotest.(check int) "one differing line" 1
     (List.length (Check.Determinism.diff [ "a"; "b" ] [ "a"; "c" ]));
@@ -358,5 +402,9 @@ let () =
             test_determinism_seed_matrix;
           Alcotest.test_case "diff detects divergence" `Quick
             test_determinism_diff_detects;
+          Alcotest.test_case "batched runs are deterministic" `Slow
+            test_determinism_batched_runs;
+          Alcotest.test_case "batched converges to unbatched state" `Slow
+            test_determinism_batched_matches_unbatched;
         ] );
     ]

@@ -225,6 +225,45 @@ let test_wlog_read_retry_exhaustion () =
   Alcotest.check verdict_t "unreadable log" (Wlog.Corrupt_interior 0)
     rv.Wlog.rv_verdict
 
+let test_wlog_batch_is_one_frame () =
+  let engine, disk = make () in
+  let log = Wlog.create ~engine ~disk () in
+  Wlog.append_batch log [ "a"; "b"; "c" ];
+  let synced = ref false in
+  Wlog.sync log (fun () -> synced := true);
+  Engine.run engine;
+  Alcotest.(check bool) "synced" true !synced;
+  Alcotest.(check int) "one frame" 1 (Wlog.frame_count log);
+  Alcotest.(check int) "three records" 3 (Wlog.length log);
+  (* A later unsynced batch is lost by a crash as a unit: no partial
+     batch can survive, because the whole batch is one frame. *)
+  Wlog.append_batch log [ "d"; "e" ];
+  Wlog.crash log;
+  Alcotest.check verdict_t "clean" Wlog.Clean (verdict log);
+  Alcotest.(check (list string))
+    "durable batch survives whole, in-flight batch dies whole"
+    [ "a"; "b"; "c" ] (entries log)
+
+let test_wlog_torn_batch_frame_granular () =
+  let engine, disk = make ~config:(faulty ~torn:1.0 ()) () in
+  let log = Wlog.create ~engine ~disk () in
+  Wlog.append_sync log "a" ignore;
+  Engine.run engine;
+  Wlog.append_batch log [ "b"; "c"; "d" ];
+  (* The batch is in flight; certain torn-tail injection leaves it
+     behind damaged — as a unit, because the checksum covers the whole
+     frame.  The verdict position is a frame index. *)
+  Wlog.crash log;
+  let rv = Wlog.recover log in
+  Alcotest.check verdict_t "torn at frame 1" (Wlog.Torn_tail 1) rv.Wlog.rv_verdict;
+  Alcotest.(check (list string)) "trusted prefix" [ "a" ] rv.Wlog.rv_trusted;
+  Alcotest.(check (list string)) "no partial batch readable" [ "a" ]
+    rv.Wlog.rv_readable;
+  Wlog.truncate_damaged log ~from:1;
+  Alcotest.check verdict_t "clean after frame truncate" Wlog.Clean (verdict log);
+  Alcotest.(check int) "one record left" 1 (Wlog.length log);
+  Alcotest.(check int) "one frame left" 1 (Wlog.frame_count log)
+
 let test_wlog_seq_survives_compaction () =
   let engine, disk = make () in
   let log = Wlog.create ~engine ~disk () in
@@ -294,6 +333,10 @@ let () =
           Alcotest.test_case "crash corruption" `Quick test_wlog_crash_corruption;
           Alcotest.test_case "read retry exhaustion" `Quick
             test_wlog_read_retry_exhaustion;
+          Alcotest.test_case "batch is one frame" `Quick
+            test_wlog_batch_is_one_frame;
+          Alcotest.test_case "torn batch is frame-granular" `Quick
+            test_wlog_torn_batch_frame_granular;
           Alcotest.test_case "seq survives compaction" `Quick
             test_wlog_seq_survives_compaction;
         ] );
