@@ -35,6 +35,9 @@ type drift_mode = Drift_full | Drift_code_only | Drift_off
 type config = {
   mutable roots : string list;
   mutable core : string list;
+  mutable entry : string list;  (* ambient-state engine entry prefixes *)
+  mutable race_roots : string list;  (* declared parallel roots *)
+  mutable passes : string list;  (* [] = every pass *)
   mutable report : string option;
   mutable baseline : string option;
   mutable drift : drift_mode;
@@ -44,9 +47,13 @@ type config = {
 
 let usage () =
   prerr_endline
-    "usage: lint.exe [--core PREFIX]... [--drift full|code-only|off]\n\
+    "usage: lint.exe [--core PREFIX]... [--entry PREFIX]...\n\
+    \                [--globals] [--races] [--race-root NAME]...\n\
+    \                [--drift full|code-only|off]\n\
     \                [--report FILE] [--baseline FILE] [--exit-zero]\n\
-    \                [--check-baseline BASELINE --against REPORT] [ROOT]...";
+    \                [--check-baseline BASELINE --against REPORT] [ROOT]...\n\
+     By default every pass runs; --globals / --races restrict the run \n\
+     to the named passes.";
   exit 2
 
 let parse_args () =
@@ -54,6 +61,9 @@ let parse_args () =
     {
       roots = [];
       core = [];
+      entry = [];
+      race_roots = [];
+      passes = [];
       report = None;
       baseline = None;
       drift = Drift_full;
@@ -66,6 +76,18 @@ let parse_args () =
     | [] -> ()
     | "--core" :: v :: rest ->
       cfg.core <- cfg.core @ [ v ];
+      go rest
+    | "--entry" :: v :: rest ->
+      cfg.entry <- cfg.entry @ [ v ];
+      go rest
+    | "--race-root" :: v :: rest ->
+      cfg.race_roots <- cfg.race_roots @ [ v ];
+      go rest
+    | "--globals" :: rest ->
+      cfg.passes <- cfg.passes @ [ "globals" ];
+      go rest
+    | "--races" :: rest ->
+      cfg.passes <- cfg.passes @ [ "races" ];
       go rest
     | "--report" :: v :: rest ->
       cfg.report <- Some v;
@@ -104,6 +126,7 @@ let parse_args () =
   | _ -> usage ());
   if cfg.roots = [] then cfg.roots <- [ "lib" ];
   if cfg.core = [] then cfg.core <- [ "lib/core/" ];
+  if cfg.entry = [] then cfg.entry <- [ "lib/core/"; "lib/db/"; "lib/gcs/" ];
   cfg
 
 let read_file path =
@@ -198,10 +221,20 @@ let () =
   end;
   let graph = A.Callgraph.build units in
   let sink = A.Diag.create_sink () in
-  A.Rules.run ~core:cfg.core graph sink;
+  (* Pass selection: no --globals/--races flag means every pass runs, so
+     the @lint and @analyze dune rules cover the new passes without
+     changing their command lines; naming passes restricts the run. *)
+  let want p = cfg.passes = [] || List.mem p cfg.passes in
+  if want "rules" then A.Rules.run ~core:cfg.core graph sink;
   let eff = A.Effects.infer graph in
-  A.Writeahead.run eff ~core:cfg.core sink;
-  if cfg.drift <> Drift_off then run_drift cfg eff sink;
+  if want "writeahead" then A.Writeahead.run eff ~core:cfg.core sink;
+  if want "drift" && cfg.drift <> Drift_off then run_drift cfg eff sink;
+  if want "globals" then A.Globals.run eff ~entry:cfg.entry sink;
+  if want "races" then begin
+    let globals = List.map fst (A.Globals.mutable_globals graph) in
+    let fp = A.Footprint.scan graph ~globals in
+    A.Racecheck.run fp ~declared:cfg.race_roots sink
+  end;
   let diags = A.Diag.to_list sink in
   (match cfg.report with
   | Some path -> write_file path (A.Diag.report_json diags)

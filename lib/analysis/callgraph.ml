@@ -23,6 +23,10 @@ type fn = {
   f_name : string;
   f_expr : Typedtree.expression;
   f_loc : Location.t;
+  f_attrs : Typedtree.attributes;
+      (** the binding's [\@\@...] attributes plus the bound expression's
+          [\@...] ones — the ambient-state and race passes read their
+          [analysis.*] markers from here *)
 }
 
 type t = {
@@ -54,24 +58,40 @@ let bound_functions (str : Typedtree.structure) =
         List.filter_map
           (fun (vb : Typedtree.value_binding) ->
             match vb.vb_pat.pat_desc with
-            | Typedtree.Tpat_var (id, _) ->
-              Some (Ident.name id, vb.vb_expr, vb.vb_loc)
+            (* [Tpat_alias] is how a type-annotated [let x : t = e]
+               types: without it, exactly the bindings careful enough
+               to declare their type would be invisible to every
+               pass — the pre-PR 7 procedure registry was. *)
+            | Typedtree.Tpat_var (id, _) | Typedtree.Tpat_alias (_, id, _) ->
+              Some
+                ( Ident.name id, vb.vb_expr, vb.vb_loc,
+                  vb.vb_attributes @ vb.vb_expr.exp_attributes )
             | _ -> None)
           vbs
       | _ -> [])
     str.str_items
 
+(* The head module path of a module expression, through constraints and
+   functor applications: [module Tbl : S = Hashtbl.Make (K)] records
+   "Tbl" -> "Hashtbl.Make", so a later [Tbl.create] canonicalizes to a
+   spelling the stateful-module matchers recognize.  This is the shared
+   alias table every pass (rules, globals, footprint) reads — a
+   [module H = Hashtbl] cannot hide a global table from any of them. *)
+let rec module_head (me : Typedtree.module_expr) =
+  match me.mod_desc with
+  | Typedtree.Tmod_ident (p, _) -> Some (Cmt_load.path_name p)
+  | Typedtree.Tmod_constraint (me, _, _, _) -> module_head me
+  | Typedtree.Tmod_apply (f, _, _) -> module_head f
+  | _ -> None
+
 let unit_aliases (str : Typedtree.structure) =
   List.filter_map
     (fun (item : Typedtree.structure_item) ->
       match item.str_desc with
-      | Typedtree.Tstr_module
-          {
-            mb_id = Some id;
-            mb_expr = { mod_desc = Typedtree.Tmod_ident (p, _); _ };
-            _;
-          } ->
-        Some (Ident.name id, Cmt_load.path_name p)
+      | Typedtree.Tstr_module { mb_id = Some id; mb_expr; _ } -> (
+        match module_head mb_expr with
+        | Some target -> Some (Ident.name id, target)
+        | None -> None)
       | _ -> None)
     str.str_items
 
@@ -83,12 +103,12 @@ let build (units : Cmt_load.unit_info list) =
     (fun (u : Cmt_load.unit_info) ->
       Hashtbl.replace aliases u.u_name (unit_aliases u.u_str);
       List.iter
-        (fun (name, expr, loc) ->
+        (fun (name, expr, loc, attrs) ->
           let key = u.u_name ^ "." ^ name in
           if not (Hashtbl.mem fns key) then begin
             Hashtbl.replace fns key
               { f_key = key; f_unit = u; f_name = name; f_expr = expr;
-                f_loc = loc };
+                f_loc = loc; f_attrs = attrs };
             keys := key :: !keys
           end)
         (bound_functions u.u_str))
@@ -180,3 +200,57 @@ let prim_names t ~caller_unit p =
   match resolve t ~caller_unit p with
   | Some fn -> [ raw; Cmt_load.normalize fn.f_key ]
   | None -> [ raw ]
+
+(* The canonical spelling of a referenced path: structure-level module
+   aliases substituted on the head component ([module R = Random] does
+   not hide Random, [module H = Hashtbl] does not hide a table, and a
+   functor alias [module Tbl = Hashtbl.Make (K)] spells [Tbl.create] as
+   "Hashtbl.Make.create"), mangling stripped, Stdlib/wrapper prefixes
+   dropped.  Shared by the rule catalogue and both PR 7 passes so no
+   detector has a private — and therefore divergent — alias story. *)
+let canonical t ~caller_unit p =
+  let raw = Cmt_load.path_name p in
+  let parts = String.split_on_char '.' raw in
+  let parts =
+    match parts with
+    | head :: rest -> (
+      match Hashtbl.find_opt t.aliases caller_unit with
+      | Some al -> (
+        match List.assoc_opt head al with
+        | Some target -> String.split_on_char '.' target @ rest
+        | None -> parts)
+      | None -> parts)
+    | [] -> parts
+  in
+  Cmt_load.normalize (String.concat "." parts)
+
+(* --- analysis attributes --------------------------------------------- *)
+
+(* [attr fn "analysis.ambient_ok"] is [None] when absent, [Some reason]
+   when present ([Some ""] when the payload is missing or not a string
+   literal — presence suppresses, the reason is for humans). *)
+let attr (fn : fn) name =
+  List.find_map
+    (fun (a : Parsetree.attribute) ->
+      if a.attr_name.txt <> name then None
+      else
+        Some
+          (match a.attr_payload with
+          | Parsetree.PStr
+              [
+                {
+                  pstr_desc =
+                    Parsetree.Pstr_eval
+                      ( {
+                          pexp_desc =
+                            Parsetree.Pexp_constant
+                              (Parsetree.Pconst_string (s, _, _));
+                          _;
+                        },
+                        _ );
+                  _;
+                };
+              ] ->
+            s
+          | _ -> ""))
+    fn.f_attrs

@@ -1,0 +1,444 @@
+(* Field-sensitive read/write footprints.
+
+   The boolean [Mutate] effect says "this function writes something";
+   the parallel-apply roadmap item needs to know *what*.  This pass
+   refines it into per-function footprints over cells — abstract
+   locations identified by [(type name, mutable field name)]:
+
+   - a record's mutable field: [Texp_setfield] writes
+     [(type_of obj, field)], [Texp_field] on a mutable label reads it;
+   - a ref cell: [!] / [:=] / [incr] / [decr] read or write
+     [("<param> ref", "contents")] — parameterized by the element type's
+     head constructor, so an [int ref] and a [state ref] never alias;
+   - a mutable container: the Hashtbl/Queue/Stack/Buffer/Array/Bytes/
+     Atomic primitives (matched through the shared alias table, so
+     [module H = Hashtbl] hides nothing) read or write
+     [(container type, "*")];
+   - a top-level mutable global (the ambient-state pass's verdicts):
+     any reference reads [("global", name)]; appearing as the mutated
+     operand of [:=]/a container mutator — or as the object of a
+     [Texp_setfield] — writes it.  Races on ambient state are exactly
+     the multi-tenant bugs the sharding work must exclude.
+
+   Accesses carry the set of synchronization tokens held at the access
+   site: the body of a function literal passed to [Mutex.protect] holds
+   a token naming that mutex; a binding annotated
+   [@@analysis.synchronized "tok"] holds ["tok"] throughout.  Function
+   summaries are the least fixpoint over the reference graph of
+
+     footprint(f) = direct(f)
+                  ∪ { (cell, rw, toks ∪ toks_at_callsite)
+                      | g referenced by f, (cell, rw, toks) ∈ footprint(g) }
+
+   with entries for the same [(cell, rw)] merged by token-set
+   *intersection* — a token survives only if it is held on every path
+   to the access, the sound direction for a race check.  Cells only
+   grow and token sets only shrink, so the fixpoint terminates.
+
+   The traversal also collects the parallel spawn sites ([Domain.spawn]
+   / [Thread.create]): an applied or partially-applied named function
+   becomes a root by its table key; a literal closure becomes a pseudo
+   function keyed "<enclosing>#spawn@<line>" whose body is scanned like
+   any other function (with an empty token context — the closure runs
+   on another domain, not under the spawner's locks).  The race checker
+   consumes both.  [solve] is pure data-in/data-out and is unit-tested
+   directly, convergence on cyclic reference graphs included. *)
+
+type cell = { c_type : string; c_field : string }
+
+type access = {
+  a_cell : cell;
+  a_write : bool;
+  a_tokens : string list;  (** sorted; synchronization held at the site *)
+  a_loc : Location.t;
+}
+
+type edge = { e_callee : string; e_tokens : string list }
+
+type spawn = {
+  s_root : string;  (** table key (named fn) or pseudo key (literal) *)
+  s_label : string;
+  s_loc : Location.t;
+  s_literal : bool;
+}
+
+type t = {
+  graph : Callgraph.t;
+  direct : (string, access list) Hashtbl.t;  (** key -> accesses, reversed *)
+  edges : (string, edge list) Hashtbl.t;
+  mutable spawns : spawn list;  (** in traversal order *)
+  summaries : (string, (cell * bool, string list) Hashtbl.t) Hashtbl.t;
+}
+
+let sync_prims = [ "Mutex.protect" ]
+let spawn_prims = [ "Domain.spawn"; "Thread.create" ]
+
+let ref_reads = [ "!" ]
+let ref_writes = [ ":="; "incr"; "decr" ]
+
+let container_writes =
+  [ "Hashtbl.replace"; "Hashtbl.add"; "Hashtbl.remove"; "Hashtbl.reset";
+    "Hashtbl.clear"; "Hashtbl.filter_map_inplace"; "Queue.add"; "Queue.push";
+    "Queue.pop"; "Queue.take"; "Queue.clear"; "Queue.transfer"; "Stack.push";
+    "Stack.pop"; "Stack.clear"; "Buffer.add_string"; "Buffer.add_char";
+    "Buffer.add_bytes"; "Buffer.add_subbytes"; "Buffer.clear"; "Buffer.reset";
+    "Array.set"; "Array.fill"; "Array.blit"; "Array.unsafe_set"; "Bytes.set";
+    "Bytes.fill"; "Bytes.blit"; "Atomic.set"; "Atomic.incr"; "Atomic.decr";
+    "Atomic.exchange"; "Atomic.compare_and_set"; "Atomic.fetch_and_add" ]
+
+let container_reads =
+  [ "Hashtbl.find"; "Hashtbl.find_opt"; "Hashtbl.find_all"; "Hashtbl.mem";
+    "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.length"; "Queue.peek";
+    "Queue.top"; "Queue.is_empty"; "Queue.length"; "Queue.iter"; "Queue.fold";
+    "Stack.top"; "Stack.is_empty"; "Stack.length"; "Buffer.contents";
+    "Buffer.length"; "Buffer.nth"; "Array.get"; "Array.unsafe_get";
+    "Bytes.get"; "Atomic.get" ]
+
+let compare_cell a b =
+  let c = compare a.c_type b.c_type in
+  if c <> 0 then c else compare a.c_field b.c_field
+
+let pp_cell ppf c = Format.fprintf ppf "%s.%s" c.c_type c.c_field
+
+(* --- cell spelling ---------------------------------------------------- *)
+
+(* [normalize] so a cell's type spells the same everywhere
+   ("Hashtbl.t", never "Stdlib.Hashtbl.t"): cell equality across two
+   roots' footprints is what the race pairing compares. *)
+let head_name ty =
+  match Types.get_desc ty with
+  | Types.Tconstr (p, _, _) -> Cmt_load.normalize (Cmt_load.path_name p)
+  | _ -> "?"
+
+(* The cell of a ref operation, from the *ref expression*'s type
+   ['a ref]: parameterize by the element's head constructor. *)
+let ref_cell (e : Typedtree.expression) =
+  let param =
+    match Types.get_desc e.Typedtree.exp_type with
+    | Types.Tconstr (_, [ a ], _) -> (
+      match Types.get_desc a with
+      | Types.Tconstr (p, _, _) -> Cmt_load.normalize (Cmt_load.path_name p)
+      | _ -> "_")
+    | _ -> "_"
+  in
+  { c_type = param ^ " ref"; c_field = "contents" }
+
+let container_cell (e : Typedtree.expression) =
+  { c_type = head_name e.Typedtree.exp_type; c_field = "*" }
+
+(* --- the traversal ---------------------------------------------------- *)
+
+let add_access t key a =
+  let cur = match Hashtbl.find_opt t.direct key with Some l -> l | None -> [] in
+  Hashtbl.replace t.direct key (a :: cur)
+
+let add_edge t key e =
+  let cur = match Hashtbl.find_opt t.edges key with Some l -> l | None -> [] in
+  Hashtbl.replace t.edges key (e :: cur)
+
+let first_arg args =
+  List.find_map (fun (_, a) -> a) args
+
+let rec arg_head_path (e : Typedtree.expression) =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> Some p
+  | Typedtree.Texp_apply (f, _) -> arg_head_path f
+  | _ -> None
+
+let scan_unit t ~globals (fn : Callgraph.fn) =
+  let caller_unit = fn.Callgraph.f_unit.Cmt_load.u_name in
+  let canonical p = Callgraph.canonical t.graph ~caller_unit p in
+  let resolve p = Callgraph.resolve t.graph ~caller_unit p in
+  let resolve_global (e : Typedtree.expression) =
+    match arg_head_path e with
+    | Some p -> (
+      match resolve p with
+      | Some g when Hashtbl.mem globals g.Callgraph.f_key ->
+        Some g.Callgraph.f_key
+      | Some _ | None -> None)
+    | None -> None
+  in
+  let global_cell key = { c_type = "global"; c_field = Cmt_load.demangle key } in
+  (* [key] is where accesses/edges accrue: the enclosing function, or a
+     pseudo function for a spawned literal. *)
+  let rec walk key tokens (e : Typedtree.expression) =
+    match e.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) -> (
+      match resolve p with
+      | Some g when Hashtbl.mem globals g.Callgraph.f_key ->
+        add_access t key
+          { a_cell = global_cell g.Callgraph.f_key; a_write = false;
+            a_tokens = tokens; a_loc = e.Typedtree.exp_loc }
+      | Some g when g.Callgraph.f_key <> key ->
+        add_edge t key { e_callee = g.Callgraph.f_key; e_tokens = tokens }
+      | Some _ | None -> ())
+    | Typedtree.Texp_setfield (obj, _, lbl, v) ->
+      add_access t key
+        { a_cell =
+            { c_type = head_name obj.Typedtree.exp_type;
+              c_field = lbl.Types.lbl_name };
+          a_write = true; a_tokens = tokens; a_loc = e.Typedtree.exp_loc };
+      (match resolve_global obj with
+      | Some g ->
+        add_access t key
+          { a_cell = global_cell g; a_write = true; a_tokens = tokens;
+            a_loc = e.Typedtree.exp_loc }
+      | None -> walk key tokens obj);
+      walk key tokens v
+    | Typedtree.Texp_field (obj, _, lbl) ->
+      if lbl.Types.lbl_mut = Asttypes.Mutable then
+        add_access t key
+          { a_cell =
+              { c_type = head_name obj.Typedtree.exp_type;
+                c_field = lbl.Types.lbl_name };
+            a_write = false; a_tokens = tokens; a_loc = e.Typedtree.exp_loc };
+      walk key tokens obj
+    | Typedtree.Texp_apply (f, args) -> (
+      let head =
+        match f.Typedtree.exp_desc with
+        | Typedtree.Texp_ident (p, _, _) -> Some (canonical p, p)
+        | _ -> None
+      in
+      match head with
+      | Some (name, _) when List.mem name spawn_prims ->
+        (* The spawned computation runs on another domain: record it as
+           a parallel root, do not charge it to the spawner. *)
+        (match first_arg args with
+        | Some arg -> (
+          let loc = e.Typedtree.exp_loc in
+          let named =
+            match arg_head_path arg with Some p -> resolve p | None -> None
+          in
+          match named with
+          | Some g ->
+            t.spawns <-
+              { s_root = g.Callgraph.f_key;
+                s_label = Cmt_load.demangle g.Callgraph.f_key; s_loc = loc;
+                s_literal = false }
+              :: t.spawns;
+            (* arguments of a partial application are evaluated by the
+               spawner *)
+            List.iter
+              (fun (_, a) ->
+                match a with
+                | Some (x : Typedtree.expression)
+                  when x.Typedtree.exp_loc <> arg.Typedtree.exp_loc ->
+                  walk key tokens x
+                | _ -> ())
+              args
+          | None ->
+            let line = loc.Location.loc_start.Lexing.pos_lnum in
+            let pseudo = Printf.sprintf "%s#spawn@%d" key line in
+            t.spawns <-
+              { s_root = pseudo;
+                s_label =
+                  Printf.sprintf "%s (closure spawned at line %d)"
+                    (Cmt_load.demangle key) line;
+                s_loc = loc; s_literal = true }
+              :: t.spawns;
+            walk pseudo [] arg)
+        | None -> ())
+      | Some (name, p) when List.mem name sync_prims ->
+        let token =
+          match first_arg args with
+          | Some m -> (
+            match arg_head_path m with
+            | Some mp -> canonical mp
+            | None ->
+              Printf.sprintf "mutex@%s:%d"
+                e.Typedtree.exp_loc.Location.loc_start.Lexing.pos_fname
+                e.Typedtree.exp_loc.Location.loc_start.Lexing.pos_lnum)
+          | None -> "mutex@?"
+        in
+        ignore p;
+        List.iter
+          (fun (_, a) ->
+            match a with
+            | Some (x : Typedtree.expression) ->
+              if Effects.is_fun_literal x then
+                walk key (List.sort_uniq compare (token :: tokens)) x
+              else walk key tokens x
+            | None -> ())
+          args
+      | Some (name, _)
+        when List.mem name ref_reads || List.mem name ref_writes
+             || List.mem name container_writes
+             || List.mem name container_reads ->
+        let write = List.mem name ref_writes || List.mem name container_writes in
+        (match first_arg args with
+        | Some operand ->
+          let cell =
+            if List.mem name ref_reads || List.mem name ref_writes then
+              ref_cell operand
+            else container_cell operand
+          in
+          add_access t key
+            { a_cell = cell; a_write = write; a_tokens = tokens;
+              a_loc = e.Typedtree.exp_loc };
+          (match resolve_global operand with
+          | Some g ->
+            add_access t key
+              { a_cell = global_cell g; a_write = write; a_tokens = tokens;
+                a_loc = e.Typedtree.exp_loc }
+          | None -> ())
+        | None -> ());
+        List.iter
+          (fun (_, a) -> match a with Some x -> walk key tokens x | None -> ())
+          args
+      | _ ->
+        walk key tokens f;
+        List.iter
+          (fun (_, a) -> match a with Some x -> walk key tokens x | None -> ())
+          args)
+    | _ -> List.iter (walk key tokens) (Callgraph.subexprs e)
+  in
+  let tokens =
+    match Callgraph.attr fn "analysis.synchronized" with
+    | Some tok when tok <> "" -> [ tok ]
+    | Some _ -> [ "synchronized" ]
+    | None -> []
+  in
+  walk fn.Callgraph.f_key tokens fn.Callgraph.f_expr
+
+(* --- the fixpoint (pure) ---------------------------------------------- *)
+
+let intersect a b = List.filter (fun x -> List.mem x b) a
+
+(* [solve ~direct ~edges] maps each key to its summary: a sorted
+   [((cell, write), tokens)] list.  Pure so the convergence tests can
+   feed synthetic (cyclic) graphs. *)
+let solve ~direct ~edges =
+  let summaries = Hashtbl.create 64 in
+  let summary key =
+    match Hashtbl.find_opt summaries key with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 8 in
+      Hashtbl.replace summaries key s;
+      s
+  in
+  let merge tbl centry tokens =
+    match Hashtbl.find_opt tbl centry with
+    | None ->
+      Hashtbl.replace tbl centry tokens;
+      true
+    | Some old ->
+      let inter = intersect old tokens in
+      if List.length inter < List.length old then begin
+        Hashtbl.replace tbl centry inter;
+        true
+      end
+      else false
+  in
+  List.iter
+    (fun (key, accesses) ->
+      let s = summary key in
+      List.iter
+        (fun a -> ignore (merge s (a.a_cell, a.a_write) a.a_tokens))
+        accesses)
+    direct;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (key, es) ->
+        let s = summary key in
+        List.iter
+          (fun e ->
+            let callee = summary e.e_callee in
+            let entries =
+              Hashtbl.fold (fun k v acc -> (k, v) :: acc) callee []
+            in
+            List.iter
+              (fun (centry, tokens) ->
+                let lifted =
+                  List.sort_uniq compare (tokens @ e.e_tokens)
+                in
+                if merge s centry lifted then changed := true)
+              entries)
+          es)
+      edges
+  done;
+  summaries
+
+let entries summaries key =
+  match Hashtbl.find_opt summaries key with
+  | None -> []
+  | Some s ->
+    List.sort
+      (fun ((ca, wa), _) ((cb, wb), _) ->
+        let c = compare_cell ca cb in
+        if c <> 0 then c else compare wa wb)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) s [])
+
+(* --- scanning a whole graph ------------------------------------------- *)
+
+let scan (graph : Callgraph.t) ~globals =
+  let t =
+    {
+      graph;
+      direct = Hashtbl.create 256;
+      edges = Hashtbl.create 256;
+      spawns = [];
+      summaries = Hashtbl.create 256;
+    }
+  in
+  let gset = Hashtbl.create 16 in
+  List.iter (fun g -> Hashtbl.replace gset g ()) globals;
+  List.iter
+    (fun key ->
+      match Callgraph.find graph key with
+      | Some fn -> scan_unit t ~globals:gset fn
+      | None -> ())
+    graph.Callgraph.keys;
+  t.spawns <- List.rev t.spawns;
+  let direct =
+    Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) t.direct []
+  in
+  let edges = Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) t.edges [] in
+  let summaries = solve ~direct ~edges in
+  Hashtbl.reset t.summaries;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.summaries k v) summaries;
+  t
+
+let summary t key = entries t.summaries key
+
+(* A deterministic witness for [cell] under [root]: BFS along the
+   reference edges in traversal order, first direct access wins; prefer
+   a write witness when one exists. *)
+let witness t ~root cell =
+  let seen = Hashtbl.create 64 in
+  let best = ref None in
+  let queue = Queue.create () in
+  Queue.add root queue;
+  Hashtbl.replace seen root ();
+  (try
+     while not (Queue.is_empty queue) do
+       let k = Queue.pop queue in
+       (match Hashtbl.find_opt t.direct k with
+       | Some accesses ->
+         List.iter
+           (fun a ->
+             if compare_cell a.a_cell cell = 0 then
+               match (!best, a.a_write) with
+               | None, _ -> best := Some (k, a)
+               | Some (_, b), true when not b.a_write -> best := Some (k, a)
+               | _ -> ())
+           (List.rev accesses)
+       | None -> ());
+       (match !best with
+       | Some (_, a) when a.a_write -> raise Exit
+       | _ -> ());
+       match Hashtbl.find_opt t.edges k with
+       | Some es ->
+         List.iter
+           (fun e ->
+             if not (Hashtbl.mem seen e.e_callee) then begin
+               Hashtbl.replace seen e.e_callee ();
+               Queue.add e.e_callee queue
+             end)
+           (List.rev es)
+       | None -> ()
+     done
+   with Exit -> ());
+  !best

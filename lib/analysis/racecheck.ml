@@ -1,0 +1,213 @@
+(* Parallel-root race checking over the footprint summaries.
+
+   A *root* is a computation assumed to run concurrently with the other
+   roots (and, when marked multi, with further instances of itself):
+
+   - a name passed on the command line ([--race-root apply_green]) —
+     the convention for the future parallel-apply entry points, seeded
+     before the parallel code exists so the refactor lands against an
+     already-watching checker;
+   - a binding annotated [@@analysis.parallel_root];
+   - the argument of a literal [Domain.spawn] / [Thread.create]
+     callsite: a named function becomes a root under its own key
+     (multi when spawned from two or more sites), a literal closure
+     becomes the footprint pass's pseudo root for that site.
+
+   Declared and annotated roots are multi — the whole point of
+   declaring one is that many domains will run it.
+
+   Two roots conflict on a cell when both footprints contain it, at
+   least one side writes, and the token sets of the two accesses have
+   an empty intersection — no synchronization point common to every
+   path to both sites.  A multi root is additionally paired with
+   itself: its unguarded writes race between its own instances.  One
+   finding per (root pair, cell), write/write preferred over
+   read/write when both occur.
+
+   Witnesses name files only, never lines: the baseline fingerprint is
+   (rule, file, message), and a message that embedded line numbers
+   would churn the fingerprint on every unrelated edit above it.
+
+   [conflict_cells] is pure — summaries in, conflicts out — so the
+   tests can drive the pairing logic (self pairing, token-intersection
+   guards, write/write preference) without building cmts. *)
+
+let rule = "parallel-race"
+let root_attr = "analysis.parallel_root"
+
+type root = {
+  r_key : string;
+  r_label : string;
+  r_multi : bool;  (** may run concurrently with itself *)
+  r_loc : Location.t option;
+}
+
+let intersect a b = List.filter (fun x -> List.mem x b) a
+
+(* Conflicting cells between two summaries (as produced by
+   [Footprint.summary]): [(cell, write_write)] per conflict, deduped to
+   one entry per cell with write/write winning.  [self] means [a] and
+   [b] are the same root: pair entry i with entries j >= i only, so
+   each unordered pair of its accesses is considered once — including
+   (i, i), an access racing with itself on another instance. *)
+let conflict_cells ~self a b =
+  let raw = ref [] in
+  List.iteri
+    (fun i ((ca, wa), ta) ->
+      List.iteri
+        (fun j ((cb, wb), tb) ->
+          if
+            (not (self && j < i))
+            && Footprint.compare_cell ca cb = 0
+            && (wa || wb)
+            && intersect ta tb = []
+          then raw := (ca, wa && wb) :: !raw)
+        b)
+    a;
+  let best = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun (c, ww) ->
+      match Hashtbl.find_opt best c with
+      | None ->
+        Hashtbl.replace best c ww;
+        order := c :: !order
+      | Some true -> ()
+      | Some false -> if ww then Hashtbl.replace best c true)
+    (List.rev !raw);
+  List.rev_map (fun c -> (c, Hashtbl.find best c)) !order
+  |> List.sort (fun (a, _) (b, _) -> Footprint.compare_cell a b)
+
+(* --- root discovery --------------------------------------------------- *)
+
+let discover (fp : Footprint.t) ~declared =
+  let graph = fp.Footprint.graph in
+  let roots = ref [] in
+  let add r =
+    match List.find_opt (fun x -> x.r_key = r.r_key) !roots with
+    | None -> roots := r :: !roots
+    | Some _ ->
+      roots :=
+        List.map
+          (fun x ->
+            if x.r_key = r.r_key then
+              { x with r_multi = x.r_multi || r.r_multi }
+            else x)
+          !roots
+  in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun key ->
+          let d = Cmt_load.demangle key in
+          if d = name || Filename.check_suffix d ("." ^ name) then
+            add
+              {
+                r_key = key;
+                r_label = d;
+                r_multi = true;
+                r_loc =
+                  Option.map
+                    (fun (fn : Callgraph.fn) -> fn.Callgraph.f_loc)
+                    (Callgraph.find graph key);
+              })
+        graph.Callgraph.keys)
+    declared;
+  List.iter
+    (fun key ->
+      match Callgraph.find graph key with
+      | Some fn when Callgraph.attr fn root_attr <> None ->
+        add
+          {
+            r_key = key;
+            r_label = Cmt_load.demangle key;
+            r_multi = true;
+            r_loc = Some fn.Callgraph.f_loc;
+          }
+      | Some _ | None -> ())
+    graph.Callgraph.keys;
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Footprint.spawn) ->
+      let n =
+        match Hashtbl.find_opt counts s.Footprint.s_root with
+        | Some n -> n
+        | None -> 0
+      in
+      Hashtbl.replace counts s.Footprint.s_root (n + 1))
+    fp.Footprint.spawns;
+  List.iter
+    (fun (s : Footprint.spawn) ->
+      add
+        {
+          r_key = s.Footprint.s_root;
+          r_label = s.Footprint.s_label;
+          r_multi =
+            (not s.Footprint.s_literal)
+            && Hashtbl.find counts s.Footprint.s_root >= 2;
+          r_loc = Some s.Footprint.s_loc;
+        })
+    fp.Footprint.spawns;
+  List.sort
+    (fun a b ->
+      let c = compare a.r_label b.r_label in
+      if c <> 0 then c else compare a.r_key b.r_key)
+    !roots
+
+(* --- reporting -------------------------------------------------------- *)
+
+let pp_cell (c : Footprint.cell) =
+  c.Footprint.c_type ^ "." ^ c.Footprint.c_field
+
+let witness_file fp root cell =
+  match Footprint.witness fp ~root cell with
+  | Some (_, a) ->
+    Some a.Footprint.a_loc.Location.loc_start.Lexing.pos_fname
+  | None -> None
+
+let witness_loc fp root cell =
+  match Footprint.witness fp ~root cell with
+  | Some (_, a) -> Some a.Footprint.a_loc
+  | None -> None
+
+let run (fp : Footprint.t) ~declared (sink : Diag.sink) =
+  let roots = discover fp ~declared in
+  let n = List.length roots in
+  let arr = Array.of_list roots in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if i <> j || a.r_multi then begin
+        let sa = Footprint.summary fp a.r_key
+        and sb = Footprint.summary fp b.r_key in
+        List.iter
+          (fun (cell, ww) ->
+            let kind = if ww then "write/write" else "read/write" in
+            let file root =
+              match witness_file fp root.r_key cell with
+              | Some f -> f
+              | None -> root.r_label
+            in
+            let loc =
+              match witness_loc fp a.r_key cell with
+              | Some l -> l
+              | None -> (
+                match a.r_loc with Some l -> l | None -> Location.none)
+            in
+            if i = j then
+              Diag.addf sink ~rule ~loc
+                "parallel root '%s' races with itself: %s conflict on %s \
+                 with no common synchronization (touched in %s); it runs on \
+                 multiple domains — guard the access or make the state \
+                 per-instance"
+                a.r_label kind (pp_cell cell) (file a)
+            else
+              Diag.addf sink ~rule ~loc
+                "parallel roots '%s' and '%s' can race: %s conflict on %s \
+                 with no common synchronization (%s vs %s); guard both \
+                 sides with one mutex or make the state per-root"
+                a.r_label b.r_label kind (pp_cell cell) (file a) (file b))
+          (conflict_cells ~self:(i = j) sa sb)
+      end
+    done
+  done

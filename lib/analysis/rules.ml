@@ -89,25 +89,12 @@ let check_unit ctx (graph : Callgraph.t) (u : Cmt_load.unit_info) =
   let in_core = in_any ctx.core src in
   let in_sim = Cmt_load.has_prefix "lib/sim/" src in
   let sink = ctx.sink in
-  (* Spell a referenced path canonically: structure-level module aliases
-     substituted ([module R = Random] does not hide Random), mangling
-     stripped, Stdlib/wrapper prefixes dropped. *)
-  let canonical p =
-    let raw = Cmt_load.path_name p in
-    let parts = String.split_on_char '.' raw in
-    let parts =
-      match parts with
-      | head :: rest -> (
-        match Hashtbl.find_opt graph.Callgraph.aliases u.Cmt_load.u_name with
-        | Some al -> (
-          match List.assoc_opt head al with
-          | Some target -> String.split_on_char '.' target @ rest
-          | None -> parts)
-        | None -> parts)
-      | [] -> parts
-    in
-    Cmt_load.normalize (String.concat "." parts)
-  in
+  (* The shared canonical speller (Callgraph.canonical): module aliases
+     — including functor aliases — substituted, mangling stripped,
+     Stdlib/wrapper prefixes dropped.  The same table the ambient-state
+     and race passes read, so an alias that hides [Random] from this
+     rule would also hide a table from those — and none of them let it. *)
+  let canonical p = Callgraph.canonical graph ~caller_unit:u.Cmt_load.u_name p in
   let check_expr (it : Tast_iterator.iterator) (e : Typedtree.expression) =
     (match e.exp_desc with
     | Typedtree.Texp_apply

@@ -8,6 +8,9 @@
 let allow_tag = "repcheck: allow"
 
 let files : (string, string array) Hashtbl.t = Hashtbl.create 16
+[@@analysis.ambient_ok
+  "read-only memoization of immutable build-tree sources; the lint \
+   driver is a batch process, not a multi-tenant engine"]
 
 let lines_of_file fname =
   match Hashtbl.find_opt files fname with

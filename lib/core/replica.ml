@@ -76,6 +76,11 @@ type t = {
   mutable engine : Engine.t option; (* joiners have none until transferred *)
   mutable endpoint : Types.payload Endpoint.t option;
   mutable db : Database.t;
+  procs : Procedure.registry;
+      (* this instance's stored procedures — code, not data: survives
+         crash (unlike [db], procedures are configuration, so a restart
+         of the same replica value still knows them) and is never
+         shared with another engine in the process *)
   mutable dirty_cache : (int * int * Database.t) option;
       (* (db version, red count) -> cached dirty copy *)
   cpu : Sim.Resource.t option;
@@ -111,6 +116,8 @@ type t = {
 
 let node t = t.node_id
 let database t = t.db
+let procedures t = t.procs
+let register_procedure t name body = Procedure.register t.procs name body
 
 let engine t =
   match t.engine with
@@ -169,7 +176,7 @@ let apply_green_batch t (actions : Action.t list) =
   t.dirty_cache <- None;
   List.iter
     (fun (a : Action.t) ->
-      let response = Executor.execute t.db a in
+      let response = Executor.execute ~procs:t.procs t.db a in
       if Node_id.equal a.Action.id.server t.node_id then
         match Hashtbl.find_opt t.pending a.Action.id with
         | Some k ->
@@ -197,7 +204,7 @@ let apply_red t (a : Action.t) =
     | Some k ->
       Hashtbl.remove t.pending a.Action.id;
       (* The response is computed against the dirty state. *)
-      k (Executor.execute (Database.copy t.db) a)
+      k (Executor.execute ~procs:t.procs (Database.copy t.db) a)
     | None -> ()
 
 let transfer_chunk_bytes = 65_536
@@ -401,6 +408,7 @@ let base ?(disk_config = Disk.default_forced) ?(attach_cpu = true)
       engine = None;
       endpoint = None;
       db = Database.create ();
+      procs = Procedure.builtins ();
       dirty_cache = None;
       cpu;
       pending = Hashtbl.create 32;
@@ -518,7 +526,7 @@ let dirty_db t =
     | _ ->
       let copy = Database.copy t.db in
       List.iter
-        (fun a -> ignore (Executor.execute copy a))
+        (fun a -> ignore (Executor.execute ~procs:t.procs copy a))
         (Engine.red_actions e);
       t.dirty_cache <- Some (fst key, snd key, copy);
       copy)
@@ -612,7 +620,7 @@ let recover t =
         (match snapshot with
         | Some s -> Database.of_snapshot s
         | None -> Database.create ());
-      List.iter (fun a -> ignore (Executor.execute t.db a)) greens;
+      List.iter (fun a -> ignore (Executor.execute ~procs:t.procs t.db a)) greens;
       t.greens_applied <- t.greens_applied + List.length greens;
       adopt_engine t e;
       let rejoin () =

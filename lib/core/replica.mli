@@ -73,6 +73,17 @@ val engine : t -> Engine.t
 (** Direct access to the replication engine (read-mostly). *)
 
 val database : t -> Database.t
+
+val procedures : t -> Procedure.registry
+(** This replica's stored-procedure registry.  Instance-scoped: two
+    replicas (even in one process) never share it.  Deterministic
+    replication requires registering the same procedures on every
+    replica of a group, exactly as it requires running the same code. *)
+
+val register_procedure : t -> string -> Procedure.body -> unit
+(** [register_procedure t name body] adds a procedure to [t]'s own
+    registry (shorthand for [Procedure.register (procedures t) ...]). *)
+
 val state : t -> Types.engine_state
 val in_primary : t -> bool
 val is_ready : t -> bool

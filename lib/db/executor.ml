@@ -1,4 +1,4 @@
-let execute db (action : Action.t) : Action.response =
+let execute ~procs db (action : Action.t) : Action.response =
   match action.kind with
   | Action.Query keys -> Action.Committed (Database.read db keys)
   | Action.Update ops ->
@@ -9,8 +9,7 @@ let execute db (action : Action.t) : Action.response =
     Database.apply db ops;
     Action.Committed results
   | Action.Active { proc; args } -> (
-    Procedure.builtins_registered ();
-    match Procedure.find proc with
+    match Procedure.find procs proc with
     | Some body ->
       let { Procedure.updates; output } = body db args in
       Database.apply db updates;

@@ -6,11 +6,14 @@
     machine approach; paper §1).  [Join]/[Leave] system actions do not
     touch the data. *)
 
-val execute : Database.t -> Action.t -> Action.response
+val execute : procs:Procedure.registry -> Database.t -> Action.t -> Action.response
 (** Mutates the database per the action's update part and returns the
-    client-visible response.  Interactive actions validate their
-    [expected] reads first and return [Aborted] (applying nothing) on
-    mismatch — every replica aborts or none does. *)
+    client-visible response.  Active transactions resolve their
+    procedure in [procs] — the executing engine's own registry — and
+    return [Aborted] when the name is unknown.  Interactive actions
+    validate their [expected] reads first and return [Aborted]
+    (applying nothing) on mismatch — every replica aborts or none
+    does. *)
 
 val read_only : Action.t -> bool
 (** Actions with no update part: these can be answered without being

@@ -1,11 +1,19 @@
 type result = { updates : Op.t list; output : Value.t }
 type body = Database.t -> Value.t list -> result
 
-let registry : (string, body) Hashtbl.t = Hashtbl.create 16
+(* One registry per engine instance: procedures are part of a replica's
+   configuration, not of the process.  (The process-wide table that
+   used to live here was the ambient-state analysis's first real
+   finding — two engines in one process observed each other's
+   [register] calls; a fixture pins that pre-fix finding.) *)
+type registry = (string, body) Hashtbl.t
 
-let register name body = Hashtbl.replace registry name body
-let find name = Hashtbl.find_opt registry name
-let known () = Hashtbl.fold (fun k _ acc -> k :: acc) registry []
+let create () : registry = Hashtbl.create 16
+let register (reg : registry) name body = Hashtbl.replace reg name body
+let find (reg : registry) name = Hashtbl.find_opt reg name
+
+let known (reg : registry) =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) reg [])
 
 let int_of = function Value.Int n -> n | Value.Text _ -> 0
 
@@ -42,9 +50,9 @@ let cas db = function
     else { updates = []; output = Value.Int 0 }
   | _ -> { updates = []; output = Value.Int 0 }
 
-let builtins_registered () =
-  if not (Hashtbl.mem registry "transfer") then begin
-    register "transfer" transfer;
-    register "restock" restock;
-    register "cas" cas
-  end
+let builtins () =
+  let reg = create () in
+  register reg "transfer" transfer;
+  register reg "restock" restock;
+  register reg "cas" cas;
+  reg

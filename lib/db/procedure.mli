@@ -3,7 +3,14 @@
     A procedure computes its updates from the current database state and
     its arguments only, so every replica invoking it at the same point in
     the global order produces the same transition.  Procedures are looked
-    up by name at execution (ordering) time, never at creation time. *)
+    up by name at execution (ordering) time, never at creation time.
+
+    The registry is instance-scoped: each engine owns one, created with
+    it and threaded through execution.  Nothing here is process-wide —
+    two replicas (or two whole engines) in one process cannot observe
+    each other's registrations.  Determinism across replicas therefore
+    rests on configuring every replica with the same procedures, which
+    is the same contract as configuring them with the same code. *)
 
 type result = {
   updates : Op.t list;  (** applied atomically after the call *)
@@ -12,14 +19,14 @@ type result = {
 
 type body = Database.t -> Value.t list -> result
 
-val register : string -> body -> unit
-(** Registers (or replaces) a procedure under a global name. *)
+type registry
+(** A mutable name → body table owned by one engine instance. *)
 
-val find : string -> body option
-val known : unit -> string list
+val create : unit -> registry
+(** An empty registry. *)
 
-val builtins_registered : unit -> unit
-(** Ensures the built-in procedures exist:
+val builtins : unit -> registry
+(** A fresh registry preloaded with the built-in procedures:
     - ["transfer"] [\[Text from; Text to_; Int amount\]]: moves funds iff
       the source balance suffices; returns [Int 1] on success, [Int 0] on
       refusal.
@@ -27,3 +34,11 @@ val builtins_registered : unit -> unit
       returns the (locally visible) new level.
     - ["cas"] [\[Text key; expected; desired\]]: compare-and-set; returns
       [Int 1] iff the stored value equalled [expected]. *)
+
+val register : registry -> string -> body -> unit
+(** Registers (or replaces) a procedure under a name, in this registry
+    only. *)
+
+val find : registry -> string -> body option
+val known : registry -> string list
+(** Registered names, sorted. *)

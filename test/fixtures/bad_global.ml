@@ -1,0 +1,38 @@
+(* Seeds: ambient-state (plus one stale exemption).
+
+   [request_total] is process-wide mutable state: a second engine
+   instance in the process would share (and corrupt) the count — the
+   shape of the pre-PR 7 procedure-registry bug, pinned here so the
+   detector's catch of that class of bug stays demonstrated after the
+   real one was fixed.  [interned] is the same shape but carries a
+   justified [@@analysis.ambient_ok] and must NOT be reported.
+   [stale_helper]'s exemption excuses nothing (a pure function is not
+   ambient state) and must be reported as unused. *)
+
+let request_total : int ref = ref 0
+
+let record_request n = request_total := !request_total + n
+
+let requests_seen () = !request_total
+
+(* The exact shape of the pre-fix lib/db/procedure.ml bug: a
+   process-wide name -> handler registry that every "instance" in the
+   process implicitly shares. *)
+type handler = int -> int
+
+let handlers : (string, handler) Hashtbl.t = Hashtbl.create 16
+
+let install name h = Hashtbl.replace handlers name h
+let lookup name = Hashtbl.find_opt handlers name
+
+let interned : (string, string) Hashtbl.t = Hashtbl.create 8
+[@@analysis.ambient_ok "fixture: deliberately excused cache"]
+
+let intern s =
+  match Hashtbl.find_opt interned s with
+  | Some s' -> s'
+  | None ->
+    Hashtbl.replace interned s s;
+    s
+
+let stale_helper n = n + 1 [@@analysis.ambient_ok "fixture: excuses nothing"]

@@ -1,0 +1,15 @@
+(* Seeds: parallel-race.  Two domains bump the same counter's mutable
+   field through [bump] with no synchronization anywhere on either
+   path: a write/write conflict on [counter.hits] between the two
+   spawned closures.  (Each closure is a literal, so the checker's
+   pseudo-roots — not named table entries — are what must collide.) *)
+
+type counter = { mutable hits : int }
+
+let bump (c : counter) = c.hits <- c.hits + 1
+
+let racy (c : counter) =
+  let a = Domain.spawn (fun () -> bump c) in
+  let b = Domain.spawn (fun () -> bump c) in
+  Domain.join a;
+  Domain.join b

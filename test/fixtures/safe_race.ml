@@ -1,0 +1,20 @@
+(* The false-positive-shaped twin of bad_race: the same two-domain
+   fan-out over shared mutable state, but every cross-domain access
+   runs inside [Mutex.protect] on the one shared lock — the common
+   synchronization point the race pass must recognize, staying silent
+   on this file.  ([gauge], not [counter]: distinct cell types keep
+   this module's accesses from pairing with bad_race's in the same
+   analysis run.) *)
+
+type gauge = { mutable level : int }
+
+let raise_level lock (g : gauge) =
+  Mutex.protect lock (fun () -> g.level <- g.level + 1)
+
+let read_level lock (g : gauge) = Mutex.protect lock (fun () -> g.level)
+
+let guarded_pair lock (g : gauge) =
+  let a = Domain.spawn (fun () -> raise_level lock g) in
+  let b = Domain.spawn (fun () -> ignore (read_level lock g)) in
+  Domain.join a;
+  Domain.join b

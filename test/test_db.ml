@@ -6,6 +6,10 @@ open Repro_db
 
 let value = Alcotest.testable Value.pp Value.equal
 
+(* One registry shared by the executor tests below; tests that need
+   isolation (test_registry_isolation) build their own. *)
+let procs = Procedure.builtins ()
+
 let test_set_get () =
   let db = Database.create () in
   Database.apply db [ Op.Set ("a", Value.Int 1); Op.Set ("b", Value.Text "x") ];
@@ -58,7 +62,6 @@ let test_digest_equality () =
     (Database.digest a <> Database.digest b)
 
 let test_procedure_transfer () =
-  Procedure.builtins_registered ();
   let db = Database.create () in
   Database.apply db [ Op.Set ("alice", Value.Int 100) ];
   let action =
@@ -69,7 +72,7 @@ let test_procedure_transfer () =
            args = [ Value.Text "alice"; Value.Text "bob"; Value.Int 30 ];
          })
   in
-  (match Executor.execute db action with
+  (match Executor.execute ~procs db action with
   | Action.Procedure_output (Value.Int 1) -> ()
   | r -> Alcotest.failf "unexpected %a" Action.pp_response r);
   Alcotest.(check (option value)) "debited" (Some (Value.Int 70))
@@ -85,7 +88,7 @@ let test_procedure_transfer () =
            args = [ Value.Text "alice"; Value.Text "bob"; Value.Int 1000 ];
          })
   in
-  (match Executor.execute db too_much with
+  (match Executor.execute ~procs db too_much with
   | Action.Procedure_output (Value.Int 0) -> ()
   | r -> Alcotest.failf "unexpected %a" Action.pp_response r);
   Alcotest.(check (option value)) "unchanged" (Some (Value.Int 70))
@@ -102,11 +105,11 @@ let test_interactive_abort () =
            updates = [ Op.Set ("seat", Value.Text "taken") ];
          })
   in
-  (match Executor.execute db (book "free") with
+  (match Executor.execute ~procs db (book "free") with
   | Action.Committed _ -> ()
   | r -> Alcotest.failf "expected commit, got %a" Action.pp_response r);
   (* A second identical interactive action must abort: the read is stale. *)
-  (match Executor.execute db (book "free") with
+  (match Executor.execute ~procs db (book "free") with
   | Action.Aborted -> ()
   | r -> Alcotest.failf "expected abort, got %a" Action.pp_response r);
   Alcotest.(check (option value)) "still taken" (Some (Value.Text "taken"))
@@ -116,7 +119,7 @@ let test_executor_query () =
   let db = Database.create () in
   Database.apply db [ Op.Set ("q", Value.Int 9) ];
   let a = Action.make ~server:1 ~index:1 (Action.Query [ "q"; "nope" ]) in
-  match Executor.execute db a with
+  match Executor.execute ~procs db a with
   | Action.Committed [ ("q", Some (Value.Int 9)); ("nope", None) ] -> ()
   | r -> Alcotest.failf "unexpected %a" Action.pp_response r
 
@@ -127,7 +130,7 @@ let test_read_write_action () =
     Action.make ~server:1 ~index:1
       (Action.Read_write ([ "c" ], [ Op.Add ("c", 1) ]))
   in
-  (match Executor.execute db a with
+  (match Executor.execute ~procs db a with
   | Action.Committed [ ("c", Some (Value.Int 1)) ] -> ()
   | r -> Alcotest.failf "unexpected %a" Action.pp_response r);
   Alcotest.(check (option value)) "updated after read" (Some (Value.Int 2))
@@ -158,13 +161,12 @@ let prop_executor_deterministic =
       in
       let run () =
         let db = Database.create () in
-        List.iter (fun a -> ignore (Executor.execute db a)) actions;
+        List.iter (fun a -> ignore (Executor.execute ~procs db a)) actions;
         Database.digest db
       in
       run () = run ())
 
 let test_procedure_cas () =
-  Procedure.builtins_registered ();
   let db = Database.create () in
   Database.apply db [ Op.Set ("cfg", Value.Text "v1") ];
   let cas expected desired =
@@ -172,14 +174,39 @@ let test_procedure_cas () =
       (Action.Active
          { proc = "cas"; args = [ Value.Text "cfg"; expected; desired ] })
   in
-  (match Executor.execute db (cas (Value.Text "v1") (Value.Text "v2")) with
+  (match Executor.execute ~procs db (cas (Value.Text "v1") (Value.Text "v2")) with
   | Action.Procedure_output (Value.Int 1) -> ()
   | r -> Alcotest.failf "cas should succeed: %a" Action.pp_response r);
-  (match Executor.execute db (cas (Value.Text "v1") (Value.Text "v3")) with
+  (match Executor.execute ~procs db (cas (Value.Text "v1") (Value.Text "v3")) with
   | Action.Procedure_output (Value.Int 0) -> ()
   | r -> Alcotest.failf "stale cas should fail: %a" Action.pp_response r);
   Alcotest.(check (option value)) "value is v2" (Some (Value.Text "v2"))
     (Database.get db "cfg")
+
+let test_registry_isolation () =
+  (* Two engines in one process must not observe each other's stored
+     procedures — the bug the ambient-state analysis caught in the old
+     process-wide registry. *)
+  let a = Procedure.builtins () and b = Procedure.builtins () in
+  Procedure.register a "boost" (fun _db _args ->
+      { Procedure.updates = []; output = Value.Int 42 });
+  Alcotest.(check bool) "a sees its registration" true
+    (Procedure.find a "boost" <> None);
+  Alcotest.(check bool) "b does not" true (Procedure.find b "boost" = None);
+  Alcotest.(check (list string))
+    "known lists this registry only"
+    [ "boost"; "cas"; "restock"; "transfer" ]
+    (Procedure.known a);
+  let db = Database.create () in
+  let act =
+    Action.make ~server:0 ~index:1 (Action.Active { proc = "boost"; args = [] })
+  in
+  (match Executor.execute ~procs:a db act with
+  | Action.Procedure_output (Value.Int 42) -> ()
+  | r -> Alcotest.failf "unexpected %a" Action.pp_response r);
+  match Executor.execute ~procs:b db act with
+  | Action.Aborted -> ()
+  | r -> Alcotest.failf "expected abort, got %a" Action.pp_response r
 
 let test_snapshot_size_grows () =
   let db = Database.create () in
@@ -240,6 +267,8 @@ let () =
       ( "more",
         [
           Alcotest.test_case "cas procedure" `Quick test_procedure_cas;
+          Alcotest.test_case "registry isolation" `Quick
+            test_registry_isolation;
           Alcotest.test_case "snapshot size" `Quick test_snapshot_size_grows;
           Alcotest.test_case "bindings sorted" `Quick test_bindings_sorted;
           QCheck_alcotest.to_alcotest prop_value_compare_total_order;

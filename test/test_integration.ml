@@ -355,6 +355,57 @@ let test_batch_spans_checkpoint () =
   all_consistent ~converged:true w;
   repcheck_ok mon
 
+(* Two whole engine worlds in one process must be invisible to each
+   other: tenant A registers a custom stored procedure on its replicas
+   only, and tenant B — running concurrently in the same process — must
+   abort the same action.  This is the multi-tenant isolation the
+   instance-scoped procedure registry (and the ambient-state analysis
+   guarding it) exists for; with the old process-wide registry, B would
+   observe A's registration and commit. *)
+let test_two_tenants_isolated () =
+  let wa, mon_a = make_world ~seed:5 ~n:3 () in
+  let wb, mon_b = make_world ~seed:6 ~n:3 () in
+  List.iter
+    (fun r ->
+      Replica.register_procedure r "tenant_only" (fun _db _args ->
+          { Procedure.updates = [ Op.Set ("mark", Value.Int 1) ];
+            output = Value.Int 7 }))
+    (World.replicas wa);
+  run wa ~ms:2000.;
+  run wb ~ms:2000.;
+  let call w =
+    let got = ref None in
+    Replica.submit (World.replica w 0)
+      (Action.Active { proc = "tenant_only"; args = [] })
+      ~on_response:(fun r -> got := Some r);
+    let answered = run_until ~max_ms:10_000. w (fun () -> !got <> None) in
+    Alcotest.(check bool) "call answered" true answered;
+    !got
+  in
+  (match call wa with
+  | Some (Action.Procedure_output (Value.Int 7)) -> ()
+  | r ->
+    Alcotest.failf "tenant A should commit its own procedure, got %s"
+      (match r with
+      | Some r -> Format.asprintf "%a" Action.pp_response r
+      | None -> "no response"))
+  ;
+  (match call wb with
+  | Some Action.Aborted -> ()
+  | r ->
+    Alcotest.failf "tenant B must not see A's procedure, got %s"
+      (match r with
+      | Some r -> Format.asprintf "%a" Action.pp_response r
+      | None -> "no response"));
+  (match Replica.weak_query (World.replica wa 1) [ "mark" ] with
+  | [ ("mark", Some (Value.Int 1)) ] -> ()
+  | _ -> Alcotest.fail "tenant A replicas should hold mark=1");
+  (match Replica.weak_query (World.replica wb 1) [ "mark" ] with
+  | [ ("mark", None) ] -> ()
+  | _ -> Alcotest.fail "tenant B database must be untouched");
+  repcheck_ok mon_a;
+  repcheck_ok mon_b
+
 let () =
   Alcotest.run "integration"
     [
@@ -385,5 +436,10 @@ let () =
           Alcotest.test_case "fifo per client" `Quick test_fifo_order_per_client;
           Alcotest.test_case "batch spans a checkpoint" `Quick
             test_batch_spans_checkpoint;
+        ] );
+      ( "multi-tenant",
+        [
+          Alcotest.test_case "two worlds, isolated procedures" `Quick
+            test_two_tenants_isolated;
         ] );
     ]
