@@ -38,6 +38,7 @@ type config = {
   mutable entry : string list;  (* ambient-state engine entry prefixes *)
   mutable race_roots : string list;  (* declared parallel roots *)
   mutable passes : string list;  (* [] = every pass *)
+  mutable manifest : string option;  (* procedure-manifest output path *)
   mutable report : string option;
   mutable baseline : string option;
   mutable drift : drift_mode;
@@ -49,11 +50,14 @@ let usage () =
   prerr_endline
     "usage: lint.exe [--core PREFIX]... [--entry PREFIX]...\n\
     \                [--globals] [--races] [--race-root NAME]...\n\
+    \                [--procedures] [--manifest FILE]\n\
     \                [--drift full|code-only|off]\n\
     \                [--report FILE] [--baseline FILE] [--exit-zero]\n\
     \                [--check-baseline BASELINE --against REPORT] [ROOT]...\n\
-     By default every pass runs; --globals / --races restrict the run \n\
-     to the named passes.";
+     By default every pass runs; --globals / --races / --procedures \n\
+     restrict the run to the named passes.  --procedures writes the \n\
+     key-space footprint manifest (procedure-manifest.json unless \n\
+     --manifest names another file).";
   exit 2
 
 let parse_args () =
@@ -64,6 +68,7 @@ let parse_args () =
       entry = [];
       race_roots = [];
       passes = [];
+      manifest = None;
       report = None;
       baseline = None;
       drift = Drift_full;
@@ -88,6 +93,13 @@ let parse_args () =
       go rest
     | "--races" :: rest ->
       cfg.passes <- cfg.passes @ [ "races" ];
+      go rest
+    | "--procedures" :: rest ->
+      cfg.passes <- cfg.passes @ [ "procedures" ];
+      if cfg.manifest = None then cfg.manifest <- Some "procedure-manifest.json";
+      go rest
+    | "--manifest" :: v :: rest ->
+      cfg.manifest <- Some v;
       go rest
     | "--report" :: v :: rest ->
       cfg.report <- Some v;
@@ -234,6 +246,13 @@ let () =
     let globals = List.map fst (A.Globals.mutable_globals graph) in
     let fp = A.Footprint.scan graph ~globals in
     A.Racecheck.run fp ~declared:cfg.race_roots sink
+  end;
+  if want "procedures" || cfg.manifest <> None then begin
+    let procs = A.Procfoot.analyze eff in
+    if want "procedures" then A.Procfoot.run procs sink;
+    match cfg.manifest with
+    | Some path -> write_file path (A.Procfoot.manifest_json procs)
+    | None -> ()
   end;
   let diags = A.Diag.to_list sink in
   (match cfg.report with

@@ -104,3 +104,8 @@ let is_engine_state ty =
   | Some name ->
     name = "engine_state" || Filename.check_suffix name ".engine_state"
   | None -> false
+
+let is_value_type ty =
+  match type_constr_name ty with
+  | Some name -> name = "Value.t" || Filename.check_suffix name ".Value.t"
+  | None -> false

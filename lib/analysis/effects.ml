@@ -38,6 +38,13 @@ type effects = {
   mutable e_random : bool;
   mutable e_sets_state : bool;
   mutable e_unguarded_send : bool;
+  mutable e_unordered : bool;
+      (** iterates a hash table ([Hashtbl.iter]/[fold], incl. functor
+          instances) — result order depends on hashing, a nondeterminism
+          source for anything replica-visible *)
+  mutable e_phys_eq_value : bool;
+      (** applies [==]/[!=] to a [Value.t] — physical identity is an
+          allocation accident, not replicated state *)
 }
 
 let fresh () =
@@ -50,6 +57,8 @@ let fresh () =
     e_random = false;
     e_sets_state = false;
     e_unguarded_send = false;
+    e_unordered = false;
+    e_phys_eq_value = false;
   }
 
 type t = {
@@ -72,6 +81,9 @@ let mutate_prims =
     "Hashtbl.clear"; "Array.set"; "Bytes.set" ]
 
 let clock_prims = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+let unordered_prims =
+  [ "Hashtbl.iter"; "Hashtbl.fold"; "Hashtbl.Make.iter"; "Hashtbl.Make.fold" ]
 
 let is_random_name n = Cmt_load.has_prefix "Random." n || List.mem n clock_prims
 
@@ -108,6 +120,10 @@ let scan_direct graph (fn : Callgraph.fn) =
     if mem raise_prims then eff.e_raise <- true;
     if mem mutate_prims then eff.e_mutate <- true;
     if List.exists is_random_name names then eff.e_random <- true;
+    if
+      List.mem (Callgraph.canonical graph ~caller_unit p) unordered_prims
+      || mem unordered_prims
+    then eff.e_unordered <- true;
     if is_transition_path p then eff.e_sets_state <- true;
     match Callgraph.resolve graph ~caller_unit p with
     | Some g when g.Callgraph.f_key <> fn.Callgraph.f_key ->
@@ -126,6 +142,23 @@ let scan_direct graph (fn : Callgraph.fn) =
         ({ exp_desc = Typedtree.Texp_field (_, _, lbl); _ }, _)
       when lbl.lbl_name = "send" ->
       eff.e_send <- true
+    | Typedtree.Texp_apply
+        ( {
+            exp_desc =
+              Typedtree.Texp_ident (Path.Pdot (Path.Pident m, op), _, _);
+            _;
+          },
+          args )
+      when Ident.name m = "Stdlib"
+           && (op = "==" || op = "!=")
+           && List.exists
+                (fun (_, a) ->
+                  match a with
+                  | Some (a : Typedtree.expression) ->
+                    Cmt_load.is_value_type a.exp_type
+                  | None -> false)
+                args ->
+      eff.e_phys_eq_value <- true
     | _ -> ());
     Tast_iterator.default_iterator.expr it e
   in
@@ -218,6 +251,10 @@ let infer (graph : Callgraph.t) =
             lift (fun e -> e.e_mutate) (fun e -> e.e_mutate <- true);
             lift (fun e -> e.e_raise) (fun e -> e.e_raise <- true);
             lift (fun e -> e.e_random) (fun e -> e.e_random <- true);
+            lift (fun e -> e.e_unordered) (fun e -> e.e_unordered <- true);
+            lift
+              (fun e -> e.e_phys_eq_value)
+              (fun e -> e.e_phys_eq_value <- true);
             lift (fun e -> e.e_sets_state) (fun e -> e.e_sets_state <- true))
           (refs t fn.Callgraph.f_key))
       fns

@@ -1,0 +1,101 @@
+(* The abstract domain of database keys.
+
+   A procedure's read/write footprint is a set of *symbolic* keys: a
+   key expression in the body abstracts to a lattice element —
+
+     Const s              a string literal
+     Param i              the i-th procedure argument, rendered as a key
+     Concat parts         concatenation of Const/Param parts in order
+     Top                  any key (the expression is data-dependent in a
+                          way the analysis cannot bound)
+
+   The order is the obvious one (everything below Top, distinct
+   non-Top elements incomparable), and sets of elements form the
+   powerset lattice with Top absorbing: a set containing Top *is*
+   {Top}.  Sets are kept sorted and deduplicated so every consumer —
+   the manifest, the drift diff, the findings — is deterministic, and
+   widened to Top past a small cardinality bound so looping helper
+   structures cannot grow footprints without bound.
+
+   [Concat] is normalized on construction: nested concats flattened,
+   adjacent/empty constants merged, any Top part absorbing the whole —
+   so syntactically different but equal key expressions compare
+   equal. *)
+
+type abs =
+  | Const of string
+  | Param of int
+  | Concat of abs list  (* >= 2 parts, each Const or Param, no adjacent Consts *)
+  | Top
+
+let rank = function Const _ -> 0 | Param _ -> 1 | Concat _ -> 2 | Top -> 3
+
+let rec compare_abs a b =
+  match (a, b) with
+  | Const x, Const y -> String.compare x y
+  | Param i, Param j -> Int.compare i j
+  | Concat xs, Concat ys -> List.compare compare_abs xs ys
+  | Top, Top -> 0
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal_abs a b = compare_abs a b = 0
+
+(* Concatenation with normalization; Top poisons the result — a key
+   with an unbounded part is an unbounded key. *)
+let concat a b =
+  match (a, b) with
+  | Top, _ | _, Top -> Top
+  | Const x, Const y -> Const (x ^ y)
+  | _ ->
+    let parts = function Concat l -> l | x -> [ x ] in
+    let rec norm = function
+      | Const "" :: rest -> norm rest
+      | Const x :: Const y :: rest -> norm (Const (x ^ y) :: rest)
+      | p :: rest -> p :: norm rest
+      | [] -> []
+    in
+    (match norm (parts a @ parts b) with
+    | [] -> Const ""
+    | [ one ] -> one
+    | l -> Concat l)
+
+let rec to_string = function
+  | Const s -> Printf.sprintf "const %S" s
+  | Param i -> Printf.sprintf "param %d" i
+  | Concat parts -> "concat(" ^ String.concat ", " (List.map to_string parts) ^ ")"
+  | Top -> "top"
+
+(* --- sets ------------------------------------------------------------- *)
+
+let widen_limit = 8
+
+let normalize set =
+  if List.exists (equal_abs Top) set then [ Top ]
+  else
+    let set = List.sort_uniq compare_abs set in
+    if List.length set > widen_limit then [ Top ] else set
+
+let union a b = normalize (a @ b)
+let add x set = union [ x ] set
+
+(* Substitute call-site actuals for parameters: the summary of a helper
+   is expressed over its own [Param j]; at a call with abstract actuals
+   [a0; a1; ...] the j-th parameter becomes [aj] (Top when the call
+   site passes fewer arguments than the summary mentions). *)
+let rec subst actuals = function
+  | Const s -> Const s
+  | Param i -> (
+    match List.nth_opt actuals i with Some a -> a | None -> Top)
+  | Concat parts ->
+    List.fold_left (fun acc p -> concat acc (subst actuals p)) (Const "") parts
+  | Top -> Top
+
+let subst_set actuals set = normalize (List.map (subst actuals) set)
+
+(* Does [declared] cover [inferred]?  Top in the declaration covers
+   everything; otherwise coverage is membership.  Used by the drift
+   check in both directions (a declared pattern matching no inferred
+   key is stale). *)
+let covers declared inferred =
+  List.exists (equal_abs Top) declared
+  || List.exists (equal_abs inferred) declared

@@ -33,7 +33,18 @@
       only be constructed in lib/harness (the nemesis campaigns),
       lib/storage (its defining library) and tests: a fault schedule
       wired directly into engine or protocol code would make faults
-      part of normal operation instead of an injected experiment. *)
+      part of normal operation instead of an injected experiment.
+
+   8. no-unordered-iteration-in-db — [Hashtbl.iter] / [Hashtbl.fold]
+      (including functor instances) inside lib/db: iteration order
+      depends on hashing, so any replica-visible result derived from it
+      is nondeterministic — the same source the procedure determinism
+      verdict (Procfoot) tracks, surfaced as an ordinary finding.  Sort
+      the result or tag the line if order provably cannot escape.
+
+   9. no-phys-eq-on-value — [==] / [!=] applied to [Value.t] inside
+      lib/db: physical identity is an allocation accident that differs
+      across replicas replaying the same order; use [Value.equal]. *)
 
 let id_type_suffixes = [ "Node_id.t"; "Action.Id.t"; "Conf_id.t"; "Id.t" ]
 let poly_compare_names = [ "="; "<>"; "=="; "!="; "compare"; "<"; ">"; "<="; ">=" ]
@@ -84,10 +95,19 @@ let wlog_recover_allowed = [ "lib/core/persist.ml"; "lib/storage/wlog.ml" ]
 
 let fault_config_allowed = [ "lib/harness/"; "lib/storage/"; "test/"; "bench/" ]
 
+(* The database layer must be deterministic re-executable code (paper
+   §6); fixtures are in scope so the seeded violations golden-test the
+   rules. *)
+let db_determinism_scope = [ "lib/db/"; "test/fixtures/" ]
+
+let is_unordered_iter name =
+  List.mem name Effects.unordered_prims
+
 let check_unit ctx (graph : Callgraph.t) (u : Cmt_load.unit_info) =
   let src = u.Cmt_load.u_src in
   let in_core = in_any ctx.core src in
   let in_sim = Cmt_load.has_prefix "lib/sim/" src in
+  let in_db = in_any db_determinism_scope src in
   let sink = ctx.sink in
   (* The shared canonical speller (Callgraph.canonical): module aliases
      — including functor aliases — substituted, mangling stripped,
@@ -112,6 +132,14 @@ let check_unit ctx (graph : Callgraph.t) (u : Cmt_load.unit_info) =
                 (match Cmt_load.type_constr_name arg.exp_type with
                 | Some n -> n
                 | None -> "?")
+          | _, Some (arg : Typedtree.expression)
+            when in_db
+                 && (op = "==" || op = "!=")
+                 && Cmt_load.is_value_type arg.exp_type ->
+            if not (Source.allowed e.exp_loc) then
+              Diag.addf sink ~rule:"no-phys-eq-on-value" ~loc:e.exp_loc
+                "physical equality on Value.t is an allocation accident, \
+                 not replicated state; use Value.equal"
           | _ -> ())
         args
     | Typedtree.Texp_match (scrut, cases, _)
@@ -167,6 +195,15 @@ let check_unit ctx (graph : Callgraph.t) (u : Cmt_load.unit_info) =
         "%s outside lib/sim; draw randomness from Repro_sim.Rng and time \
          from the virtual clock"
         (canonical p)
+    | Typedtree.Texp_ident (p, _, _)
+      when in_db
+           && is_unordered_iter (canonical p)
+           && not (Source.allowed e.exp_loc) ->
+      Diag.addf sink ~rule:"no-unordered-iteration-in-db" ~loc:e.exp_loc
+        "%s in the database layer: hash-order iteration is a \
+         nondeterminism source for replica-visible results; sort the \
+         result or tag the line with (* %s *)"
+        (canonical p) Source.allow_tag
     | Typedtree.Texp_apply
         ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, _)
       when in_core

@@ -1,0 +1,52 @@
+open Repro_db
+
+(** Runtime validation of declared procedure footprints (paper §6).
+
+    The static key-space analysis (lib/analysis/procfoot.ml) infers each
+    procedure's symbolic read/write sets and the drift lint diffs them
+    against the [Procedure.register ?footprint] declarations.  This
+    guard closes the loop dynamically: attached to a replica, it checks
+    every executed procedure's actual key accesses against the declared
+    patterns — actual reads must be covered by declared reads ∪ writes
+    (a write licenses the read-back of the same key), actual writes by
+    declared writes.  Procedures without a declaration are counted but
+    not checked. *)
+
+type kind = Read | Write
+
+type violation = {
+  v_proc : string;  (** procedure name *)
+  v_kind : kind;
+  v_key : string;  (** the key outside the declared footprint *)
+  v_args : Value.t list;  (** arguments of the offending invocation *)
+}
+
+type t
+
+val create : unit -> t
+
+val observe : t -> Procedure.registry -> Executor.procedure_trace -> unit
+(** Check one executed procedure's trace against its declaration in the
+    given registry (typically the executing replica's own). *)
+
+val attach : t -> Repro_core.Replica.t -> unit
+(** Install this guard as the replica's procedure hook
+    ({!Repro_core.Replica.set_procedure_hook}): every procedure the
+    replica executes — green apply, commutative red answer, dirty-read
+    materialisation, recovery replay — is observed. *)
+
+val violations : t -> violation list
+(** Violations in observation order. *)
+
+val observed : t -> int
+(** Procedures executed under this guard. *)
+
+val checked : t -> int
+(** The subset of {!observed} that had a declared footprint. *)
+
+val ok : t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val assert_ok : t -> unit
+(** Raises [Failure] listing every violation, if any. *)

@@ -104,6 +104,10 @@ type t = {
   mutable left : bool;
   mutable audit : (Engine.audit_event -> unit) option;
       (* re-attached to every engine this replica creates *)
+  mutable proc_hook : (Executor.procedure_trace -> unit) option;
+      (* observes every executed procedure's actual key accesses
+         (green apply, red answer, dirty reads, recovery replay);
+         Check.Procguard validates them against declared footprints *)
   mutable incarnation : int;
       (* bumped on crash: volatile state was lost, so observers must not
          hold this replica to monotonicity across the boundary *)
@@ -117,7 +121,10 @@ type t = {
 let node t = t.node_id
 let database t = t.db
 let procedures t = t.procs
-let register_procedure t name body = Procedure.register t.procs name body
+let register_procedure ?footprint t name body =
+  Procedure.register ?footprint t.procs name body
+
+let set_procedure_hook t h = t.proc_hook <- Some h
 
 let engine t =
   match t.engine with
@@ -176,7 +183,9 @@ let apply_green_batch t (actions : Action.t list) =
   t.dirty_cache <- None;
   List.iter
     (fun (a : Action.t) ->
-      let response = Executor.execute ~procs:t.procs t.db a in
+      let response =
+        Executor.execute ?on_procedure:t.proc_hook ~procs:t.procs t.db a
+      in
       if Node_id.equal a.Action.id.server t.node_id then
         match Hashtbl.find_opt t.pending a.Action.id with
         | Some k ->
@@ -204,7 +213,9 @@ let apply_red t (a : Action.t) =
     | Some k ->
       Hashtbl.remove t.pending a.Action.id;
       (* The response is computed against the dirty state. *)
-      k (Executor.execute ~procs:t.procs (Database.copy t.db) a)
+      k
+        (Executor.execute ?on_procedure:t.proc_hook ~procs:t.procs
+           (Database.copy t.db) a)
     | None -> ()
 
 let transfer_chunk_bytes = 65_536
@@ -428,6 +439,7 @@ let base ?(disk_config = Disk.default_forced) ?(attach_cpu = true)
       actions_submitted = 0;
       left = false;
       audit = None;
+      proc_hook = None;
       incarnation = 0;
       last_recovery = None;
       amnesia_floor = 0;
@@ -526,7 +538,8 @@ let dirty_db t =
     | _ ->
       let copy = Database.copy t.db in
       List.iter
-        (fun a -> ignore (Executor.execute ~procs:t.procs copy a))
+        (fun a ->
+          ignore (Executor.execute ?on_procedure:t.proc_hook ~procs:t.procs copy a))
         (Engine.red_actions e);
       t.dirty_cache <- Some (fst key, snd key, copy);
       copy)
@@ -620,7 +633,11 @@ let recover t =
         (match snapshot with
         | Some s -> Database.of_snapshot s
         | None -> Database.create ());
-      List.iter (fun a -> ignore (Executor.execute ~procs:t.procs t.db a)) greens;
+      List.iter
+        (fun a ->
+          ignore
+            (Executor.execute ?on_procedure:t.proc_hook ~procs:t.procs t.db a))
+        greens;
       t.greens_applied <- t.greens_applied + List.length greens;
       adopt_engine t e;
       let rejoin () =

@@ -80,9 +80,19 @@ val procedures : t -> Procedure.registry
     replication requires registering the same procedures on every
     replica of a group, exactly as it requires running the same code. *)
 
-val register_procedure : t -> string -> Procedure.body -> unit
+val register_procedure :
+  ?footprint:Procedure.footprint -> t -> string -> Procedure.body -> unit
 (** [register_procedure t name body] adds a procedure to [t]'s own
-    registry (shorthand for [Procedure.register (procedures t) ...]). *)
+    registry (shorthand for [Procedure.register (procedures t) ...]).
+    [?footprint] declares the key-space footprint the runtime guard
+    ({!set_procedure_hook}) and the static drift lint check against. *)
+
+val set_procedure_hook : t -> (Executor.procedure_trace -> unit) -> unit
+(** Observes every procedure this replica executes — green apply,
+    commutative red answer, dirty-read materialisation and recovery
+    replay alike — with its actual key accesses.  Survives crash and
+    recovery (the hook lives on the replica, not the engine).  Used by
+    [Check.Procguard] to validate declared footprints at run time. *)
 
 val state : t -> Types.engine_state
 val in_primary : t -> bool

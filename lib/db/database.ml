@@ -2,33 +2,57 @@ module Smap = Map.Make (String)
 
 type cell = { value : Value.t; ts : int }
 type snapshot = { s_map : cell Smap.t; s_version : int }
-type t = { mutable map : cell Smap.t; mutable version : int }
 
-let create () = { map = Smap.empty; version = 0 }
+type t = {
+  mutable map : cell Smap.t;
+  mutable version : int;
+  mutable trace : (string -> unit) option;
+      (* key-read observer, installed by the executor around a stored
+         procedure so the runtime footprint validator sees the actual
+         read set; [None] on the hot path *)
+}
+
+let create () = { map = Smap.empty; version = 0; trace = None }
+let set_trace t f = t.trace <- f
 
 let get t k =
+  (match t.trace with Some f -> f k | None -> ());
   match Smap.find_opt k t.map with Some c -> Some c.value | None -> None
 
 let timestamp t k =
+  (match t.trace with Some f -> f k | None -> ());
   match Smap.find_opt k t.map with Some c -> c.ts | None -> 0
 
+(* Key-class separation (paper §6, and the pairwise law Op.commutes
+   promises): a key written through [Set_if_newer] carries ts > 0 and is
+   a last-writer-wins register; a key written through [Add] is a counter
+   and keeps ts = 0.  An [Add] against a register key is dropped, a
+   [Set_if_newer] never beats the ts-0 sentinel, and equal-timestamp
+   register writes resolve by value order — so any interleaving of
+   commutative ops converges to the same state. *)
 let apply_op map = function
   | Op.Set (k, v) ->
     let ts = match Smap.find_opt k map with Some c -> c.ts | None -> 0 in
     Smap.add k { value = v; ts } map
-  | Op.Add (k, n) ->
-    let current, ts =
-      match Smap.find_opt k map with
-      | Some { value = Value.Int v; ts } -> (v, ts)
-      | Some { value = Value.Text _; ts } -> (0, ts)
-      | None -> (0, 0)
-    in
-    Smap.add k { value = Value.Int (current + n); ts } map
-  | Op.Remove k -> Smap.remove k map
-  | Op.Set_if_newer (k, v, ts) -> (
+  | Op.Add (k, n) -> (
     match Smap.find_opt k map with
-    | Some c when c.ts >= ts -> map
-    | _ -> Smap.add k { value = v; ts } map)
+    | Some { ts; _ } when ts > 0 -> map (* register key: counter op dropped *)
+    | Some { value = Value.Int v; ts } ->
+      Smap.add k { value = Value.Int (v + n); ts } map
+    | Some { value = Value.Text _; ts } ->
+      Smap.add k { value = Value.Int n; ts } map
+    | None -> Smap.add k { value = Value.Int n; ts = 0 } map)
+  | Op.Remove k -> Smap.remove k map
+  | Op.Set_if_newer (k, v, ts) ->
+    let stored = Smap.find_opt k map in
+    let stored_ts = match stored with Some c -> c.ts | None -> 0 in
+    if ts > stored_ts then Smap.add k { value = v; ts } map
+    else if ts = stored_ts && ts > 0 then
+      match stored with
+      | Some c when Value.compare v c.value > 0 ->
+        Smap.add k { value = v; ts } map
+      | _ -> map
+    else map
 
 let apply t ops =
   t.map <- List.fold_left apply_op t.map ops;
@@ -51,8 +75,8 @@ let restore t s =
   t.map <- s.s_map;
   t.version <- s.s_version
 
-let of_snapshot s = { map = s.s_map; version = s.s_version }
-let copy t = { map = t.map; version = t.version }
+let of_snapshot s = { map = s.s_map; version = s.s_version; trace = None }
+let copy t = { map = t.map; version = t.version; trace = None }
 
 let snapshot_size s =
   Smap.fold

@@ -14,6 +14,12 @@ val get : t -> string -> Value.t option
 val timestamp : t -> string -> int
 (** Stored timestamp for a key (0 if never written with a timestamp). *)
 
+val set_trace : t -> (string -> unit) option -> unit
+(** Installs (or clears) a key-read observer called by [get]/
+    [timestamp]/[read] with each looked-up key.  Used by the runtime
+    footprint validator to capture a procedure's actual read set; not
+    copied by [copy]/[of_snapshot]. *)
+
 val apply : t -> Op.t list -> unit
 (** Applies updates in order. *)
 

@@ -1,4 +1,11 @@
-let execute ~procs db (action : Action.t) : Action.response =
+type procedure_trace = {
+  t_proc : string;
+  t_args : Value.t list;
+  t_reads : string list;
+  t_writes : string list;
+}
+
+let execute ?on_procedure ~procs db (action : Action.t) : Action.response =
   match action.kind with
   | Action.Query keys -> Action.Committed (Database.read db keys)
   | Action.Update ops ->
@@ -11,7 +18,30 @@ let execute ~procs db (action : Action.t) : Action.response =
   | Action.Active { proc; args } -> (
     match Procedure.find procs proc with
     | Some body ->
-      let { Procedure.updates; output } = body db args in
+      let { Procedure.updates; output } =
+        match on_procedure with
+        | None -> body db args
+        | Some hook ->
+          (* Observe the body's actual key accesses for the footprint
+             validator: reads via the database trace, writes from the
+             emitted ops. *)
+          let reads = ref [] in
+          Database.set_trace db (Some (fun k -> reads := k :: !reads));
+          let result =
+            Fun.protect
+              ~finally:(fun () -> Database.set_trace db None)
+              (fun () -> body db args)
+          in
+          hook
+            {
+              t_proc = proc;
+              t_args = args;
+              t_reads = List.sort_uniq compare !reads;
+              t_writes =
+                List.sort_uniq compare (List.map Op.key result.Procedure.updates);
+            };
+          result
+      in
       Database.apply db updates;
       Action.Procedure_output output
     | None -> Action.Aborted)

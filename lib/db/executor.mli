@@ -6,11 +6,26 @@
     machine approach; paper §1).  [Join]/[Leave] system actions do not
     touch the data. *)
 
-val execute : procs:Procedure.registry -> Database.t -> Action.t -> Action.response
+type procedure_trace = {
+  t_proc : string;  (** procedure name *)
+  t_args : Value.t list;
+  t_reads : string list;  (** keys looked up by the body, sorted *)
+  t_writes : string list;  (** keys written by the emitted ops, sorted *)
+}
+
+val execute :
+  ?on_procedure:(procedure_trace -> unit) ->
+  procs:Procedure.registry ->
+  Database.t ->
+  Action.t ->
+  Action.response
 (** Mutates the database per the action's update part and returns the
     client-visible response.  Active transactions resolve their
     procedure in [procs] — the executing engine's own registry — and
-    return [Aborted] when the name is unknown.  Interactive actions
+    return [Aborted] when the name is unknown; when [?on_procedure] is
+    given, each executed procedure's actual key accesses are observed
+    (via [Database.set_trace] for reads, the emitted ops for writes) and
+    reported to the hook before the updates apply.  Interactive actions
     validate their [expected] reads first and return [Aborted]
     (applying nothing) on mismatch — every replica aborts or none
     does. *)

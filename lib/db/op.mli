@@ -14,6 +14,20 @@ type t =
 
 val is_commutative : t -> bool
 (** Whether re-ordering this op against any other commutative op leaves
-    the final state unchanged ([Add] and [Set_if_newer]). *)
+    the final state unchanged ([Add] and [Set_if_newer]).  The pairwise
+    law this promises — checked by a property test in [test_db] — rests
+    on the key-class separation [Database.apply] enforces: a key is
+    either a counter key (written by [Add], timestamp 0) or a
+    timestamped register key (written by [Set_if_newer]); an [Add] to a
+    register key is dropped, and equal-timestamp [Set_if_newer] races
+    resolve by value order, so any interleaving of commutative ops
+    converges (paper §6). *)
+
+val key : t -> string
+(** The database key the op writes. *)
+
+val commutes : t -> t -> bool
+(** The pairwise law: ops on distinct keys always commute; ops on the
+    same key commute iff both are [is_commutative]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,19 +1,75 @@
 type result = { updates : Op.t list; output : Value.t }
 type body = Database.t -> Value.t list -> result
 
+type key_pattern =
+  | Kconst of string
+  | Kparam of int
+  | Kconcat of key_pattern list
+  | Kany
+
+type footprint = { reads : key_pattern list; writes : key_pattern list }
+type entry = { body : body; declared : footprint option }
+
 (* One registry per engine instance: procedures are part of a replica's
    configuration, not of the process.  (The process-wide table that
    used to live here was the ambient-state analysis's first real
    finding — two engines in one process observed each other's
    [register] calls; a fixture pins that pre-fix finding.) *)
-type registry = (string, body) Hashtbl.t
+type registry = (string, entry) Hashtbl.t
 
 let create () : registry = Hashtbl.create 16
-let register (reg : registry) name body = Hashtbl.replace reg name body
-let find (reg : registry) name = Hashtbl.find_opt reg name
+
+let register ?footprint (reg : registry) name body =
+  Hashtbl.replace reg name { body; declared = footprint }
+
+let find (reg : registry) name =
+  match Hashtbl.find_opt reg name with
+  | Some e -> Some e.body
+  | None -> None
+
+let declared_footprint (reg : registry) name =
+  match Hashtbl.find_opt reg name with
+  | Some e -> e.declared
+  | None -> None
 
 let known (reg : registry) =
+  (* repcheck: allow — result is sorted, iteration order irrelevant *)
   List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) reg [])
+
+let value_to_key = function
+  | Value.Text s -> s
+  | Value.Int n -> string_of_int n
+
+let rec concretize args = function
+  | Kconst s -> Some s
+  | Kparam i -> (
+    match List.nth_opt args i with
+    | Some v -> Some (value_to_key v)
+    | None -> None)
+  | Kconcat parts ->
+    List.fold_left
+      (fun acc p ->
+        match (acc, concretize args p) with
+        | Some a, Some b -> Some (a ^ b)
+        | _ -> None)
+      (Some "") parts
+  | Kany -> None
+
+let pattern_matches args pat key =
+  match pat with Kany -> true | _ -> concretize args pat = Some key
+
+let covers args pats key = List.exists (fun p -> pattern_matches args p key) pats
+
+let rec pp_pattern ppf = function
+  | Kconst s -> Format.fprintf ppf "%S" s
+  | Kparam i -> Format.fprintf ppf "param %d" i
+  | Kconcat parts ->
+    Format.fprintf ppf "concat(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+         pp_pattern)
+      parts
+  | Kany -> Format.fprintf ppf "*"
 
 let int_of = function Value.Int n -> n | Value.Text _ -> 0
 
@@ -52,7 +108,10 @@ let cas db = function
 
 let builtins () =
   let reg = create () in
-  register reg "transfer" transfer;
-  register reg "restock" restock;
-  register reg "cas" cas;
+  register reg "transfer" transfer
+    ~footprint:{ reads = [ Kparam 0 ]; writes = [ Kparam 0; Kparam 1 ] };
+  register reg "restock" restock
+    ~footprint:{ reads = [ Kparam 0 ]; writes = [ Kparam 0 ] };
+  register reg "cas" cas
+    ~footprint:{ reads = [ Kparam 0 ]; writes = [ Kparam 0 ] };
   reg

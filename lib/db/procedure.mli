@@ -19,8 +19,22 @@ type result = {
 
 type body = Database.t -> Value.t list -> result
 
+type key_pattern =
+  | Kconst of string  (** a literal key *)
+  | Kparam of int  (** the i-th argument, rendered as a key *)
+  | Kconcat of key_pattern list  (** concatenation of parts *)
+  | Kany  (** matches every key (no static bound) *)
+
+type footprint = { reads : key_pattern list; writes : key_pattern list }
+(** A declared key-space footprint: every key the body may look up is
+    matched by some [reads] or [writes] pattern, and every key its
+    updates write by some [writes] pattern.  Declarations are checked
+    two ways: statically, the footprint lint diffs them against the
+    inferred sets (a disagreement is a spec-drift finding); at run time,
+    [Check.Procguard] asserts the actual touched keys are covered. *)
+
 type registry
-(** A mutable name → body table owned by one engine instance. *)
+(** A mutable name → entry table owned by one engine instance. *)
 
 val create : unit -> registry
 (** An empty registry. *)
@@ -35,10 +49,28 @@ val builtins : unit -> registry
     - ["cas"] [\[Text key; expected; desired\]]: compare-and-set; returns
       [Int 1] iff the stored value equalled [expected]. *)
 
-val register : registry -> string -> body -> unit
+val register : ?footprint:footprint -> registry -> string -> body -> unit
 (** Registers (or replaces) a procedure under a name, in this registry
-    only. *)
+    only.  [?footprint] optionally declares the key-space footprint; the
+    builtins all declare theirs. *)
 
 val find : registry -> string -> body option
+
+val declared_footprint : registry -> string -> footprint option
+(** The footprint declared at registration, if any. *)
+
 val known : registry -> string list
 (** Registered names, sorted. *)
+
+val concretize : Value.t list -> key_pattern -> string option
+(** The concrete key a pattern denotes under the given arguments;
+    [None] for [Kany] or an out-of-range parameter. *)
+
+val pattern_matches : Value.t list -> key_pattern -> string -> bool
+(** Whether a key matches a pattern under the given arguments ([Kany]
+    matches everything). *)
+
+val covers : Value.t list -> key_pattern list -> string -> bool
+(** Whether any pattern in the list matches the key. *)
+
+val pp_pattern : Format.formatter -> key_pattern -> unit

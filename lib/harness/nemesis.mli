@@ -52,8 +52,12 @@ type outcome = {
   o_ready : int;  (** replicas ready after the settle phase *)
   o_greens : int;  (** the converged green count (max across replicas) *)
   o_sweeps : int;  (** monitor sweeps performed during the run *)
+  o_procs : int;
+      (** stored-procedure executions whose actual key accesses were
+          validated against a declared footprint ({!Repro_check.Procguard}) *)
   o_violations : string list;
-      (** rendered monitor + consistency violations; empty on a pass *)
+      (** rendered monitor + consistency + footprint-guard violations;
+          empty on a pass *)
 }
 
 val converged : outcome -> bool

@@ -14,6 +14,8 @@ type t = {
       (* [None] = Replica's default; [Some c] = explicit setting *)
   w_quorum_policy : Quorum.policy;
   w_submit_delay : Sim.Time.t option;
+  mutable w_proc_guard : Repro_check.Procguard.t option;
+      (* attached to every replica, joiners included, once requested *)
 }
 
 let default_net =
@@ -52,6 +54,7 @@ let make ?(net_config = default_net) ?(params = Repro_gcs.Params.fast)
     w_quorum_policy =
       Option.value quorum_policy ~default:Quorum.Dynamic_linear;
     w_submit_delay = submit_delay;
+    w_proc_guard = None;
   }
 
 let sim t = Replica.cluster_sim t.w_cluster
@@ -73,6 +76,9 @@ let add_joiner t ~node ~sponsors =
   in
   Hashtbl.replace t.w_replicas node r;
   t.w_nodes <- t.w_nodes @ [ node ];
+  (match t.w_proc_guard with
+  | Some g -> Repro_check.Procguard.attach g r
+  | None -> ());
   Replica.start r;
   r
 
@@ -88,6 +94,17 @@ let submit_update t ~node ~key v =
     Replica.submit r
       (Action.Update [ Op.Set (key, Value.Int v) ])
       ~on_response:(fun _ -> ())
+
+let submit_procedure t ~node ~proc args =
+  let r = replica t node in
+  if Replica.is_ready r then
+    Replica.submit r (Action.Active { proc; args }) ~on_response:(fun _ -> ())
+
+let attach_procedure_guard t =
+  let g = Repro_check.Procguard.create () in
+  t.w_proc_guard <- Some g;
+  List.iter (Repro_check.Procguard.attach g) (replicas t);
+  g
 
 let attach_monitor ?window t =
   Repro_check.Monitor.create ?window ~policy:(Some t.w_quorum_policy)

@@ -50,6 +50,17 @@ val run_until_quiescent : ?max_ms:float -> t -> unit
 val submit_update : t -> node:Node_id.t -> key:string -> int -> unit
 (** Fire-and-forget strict update. *)
 
+val submit_procedure :
+  t -> node:Node_id.t -> proc:string -> Repro_db.Value.t list -> unit
+(** Fire-and-forget active transaction (stored-procedure call). *)
+
+val attach_procedure_guard : t -> Repro_check.Procguard.t
+(** Attaches a runtime footprint validator (see [Repro_check.Procguard])
+    to every replica of the world, future joiners included: each
+    executed procedure's actual key accesses are checked against its
+    declared footprint.  [Procguard.assert_ok] at the end of the
+    scenario. *)
+
 val heal_and_settle : ?ms:float -> t -> unit
 (** Merge all partitions, recover all crashed replicas, run [ms]
     (default 5000) to let exchanges finish. *)

@@ -1,0 +1,74 @@
+(* Seeded violations for the procedure key-space footprint analysis
+   (Procfoot) and the lib/db determinism rules.
+
+   [scatter] computes a key from [Random] output: its write set
+   degrades to top (procedure-unbounded-footprint), the determinism
+   verdict fails (procedure-nondeterminism + the ambient-nondeterminism
+   rule on the [Random.int] itself), and its declared footprint is
+   narrower than inference (procedure-footprint-drift) — one body, the
+   full failure surface.
+
+   [popular] derives a replica-visible key from [Hashtbl.fold]
+   iteration order; [same] branches on physical equality of [Value.t].
+   Both are the new nondeterminism sources the effect fixpoint tracks,
+   each also surfaced by its pattern rule.
+
+   [audited] is the clean twin: a helper-computed concat key, declared
+   exactly, commutative — it must appear in the manifest with a
+   bounded footprint and produce no findings. *)
+
+module P = Repro_db.Procedure
+module Db = Repro_db.Database
+module Op = Repro_db.Op
+module Value = Repro_db.Value
+
+let scatter db = function
+  | [ Value.Text bucket ] ->
+    let spread = Random.int 8 in
+    let key = Printf.sprintf "%s-%d" bucket spread in
+    let prev = match Db.get db key with Some (Value.Int p) -> p | _ -> 0 in
+    { P.updates = [ Op.Add (key, 1) ]; output = Value.Int (prev + spread) }
+  | _ -> { P.updates = []; output = Value.Int 0 }
+
+let popular db = function
+  | [ Value.Text item ] ->
+    let seen = Hashtbl.create 4 in
+    Hashtbl.replace seen item (Db.get db item);
+    let best = Hashtbl.fold (fun k _ acc -> if acc = "" then k else acc) seen "" in
+    { P.updates = [ Op.Set (best, Value.Int 1) ]; output = Value.Int 1 }
+  | _ -> { P.updates = []; output = Value.Int 0 }
+
+let same db = function
+  | [ Value.Text key; probe ] ->
+    let hit =
+      match Db.get db key with Some v -> v == probe | None -> false
+    in
+    {
+      P.updates = (if hit then [ Op.Remove key ] else []);
+      output = Value.Int (if hit then 1 else 0);
+    }
+  | _ -> { P.updates = []; output = Value.Int 0 }
+
+let audit_key who = "audit-" ^ who
+
+let audited db = function
+  | [ Value.Text who; Value.Int n ] ->
+    let prev =
+      match Db.get db (audit_key who) with Some (Value.Int p) -> p | _ -> 0
+    in
+    { P.updates = [ Op.Add (audit_key who, n) ]; output = Value.Int (prev + n) }
+  | _ -> { P.updates = []; output = Value.Int 0 }
+
+let fleet () =
+  let reg = P.create () in
+  P.register reg "scatter" scatter
+    ~footprint:{ P.reads = [ P.Kparam 0 ]; writes = [ P.Kparam 0 ] };
+  P.register reg "popular" popular;
+  P.register reg "same" same;
+  P.register reg "audited" audited
+    ~footprint:
+      {
+        P.reads = [ P.Kconcat [ P.Kconst "audit-"; P.Kparam 0 ] ];
+        writes = [ P.Kconcat [ P.Kconst "audit-"; P.Kparam 0 ] ];
+      };
+  reg

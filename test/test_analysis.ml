@@ -12,6 +12,8 @@ module Specdrift = Repro_analysis.Specdrift
 module Footprint = Repro_analysis.Footprint
 module Racecheck = Repro_analysis.Racecheck
 module Globals = Repro_analysis.Globals
+module Keyspace = Repro_analysis.Keyspace
+module Source = Repro_analysis.Source
 module Spec = Repro_check.Spec
 
 (* A location in a file that does not exist: Source.allowed finds no
@@ -97,6 +99,114 @@ let test_baseline_ignores_line_moves () =
   Alcotest.(check int)
     "message change is new" 1
     (List.length (Diag.new_findings ~baseline (Diag.to_list fresh)))
+
+let test_json_render_parse_render_stable () =
+  (* Render → parse → render must be byte-identical — the golden
+     reports and the baseline can be regenerated from either side. *)
+  let sink = Diag.create_sink () in
+  add sink ~rule:"z-rule" ~file:"lib/z.ml" ~line:2 ~col:3 "last file first";
+  add sink ~rule:"a-rule" ~file:"lib/a.ml" ~line:40 ~col:0
+    "escapes: \"\\ \t and\nnewline";
+  add sink ~rule:"m-rule" ~file:"lib/a.ml" ~line:4 ~col:12 "middle";
+  let j1 = Diag.report_json (Diag.to_list sink) in
+  let j2 = Diag.report_json (Diag.parse_report j1) in
+  Alcotest.(check string) "byte-identical after round-trip" j1 j2
+
+let test_baseline_survives_roundtrip () =
+  (* A baseline written to JSON and parsed back grandfathers exactly
+     what the in-memory baseline does: fingerprints survive the trip. *)
+  let sink = Diag.create_sink () in
+  add sink ~rule:"r" ~file:"a.ml" ~line:10 ~col:2 "known";
+  add sink ~rule:"s" ~file:"b.ml" ~line:3 ~col:0 "also known";
+  let baseline = Diag.to_list sink in
+  let reparsed = Diag.parse_report (Diag.report_json baseline) in
+  let current = Diag.create_sink () in
+  add current ~rule:"r" ~file:"a.ml" ~line:22 ~col:7 "known";
+  add current ~rule:"s" ~file:"b.ml" ~line:3 ~col:0 "also known";
+  add current ~rule:"r" ~file:"a.ml" ~line:5 ~col:1 "genuinely new";
+  let fresh = Diag.new_findings ~baseline:reparsed (Diag.to_list current) in
+  Alcotest.(check (list string))
+    "only the new finding survives" [ "genuinely new" ]
+    (List.map (fun d -> d.Diag.d_message) fresh)
+
+(* --- source-level suppression ----------------------------------------- *)
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc
+
+let test_allow_tag_suppresses () =
+  (* The [(* repcheck: allow *)] tag suppresses on the flagged line and
+     on the line above it, and nowhere else. *)
+  let path = Filename.temp_file "repcheck_supp" ".ml" in
+  write_lines path
+    [
+      "let untagged = 1";
+      "(* repcheck: allow — justified *)";
+      "let tagged_above = 2";
+      "let tagged_inline = 3 (* repcheck: allow *)";
+      "let shadowed = 4";
+      "let clean = 5";
+    ];
+  let allowed line = Source.allowed (loc ~file:path ~line ~col:0) in
+  Alcotest.(check bool) "plain line is not suppressed" false (allowed 1);
+  Alcotest.(check bool) "tag on the previous line covers" true (allowed 3);
+  Alcotest.(check bool) "inline tag covers" true (allowed 4);
+  Alcotest.(check bool) "inline tag covers one line down" true (allowed 5);
+  Alcotest.(check bool) "tag reaches no further" false (allowed 6);
+  Sys.remove path
+
+(* --- key-space abstract domain ---------------------------------------- *)
+
+let abs_t =
+  Alcotest.testable
+    (fun ppf a -> Format.pp_print_string ppf (Keyspace.to_string a))
+    Keyspace.equal_abs
+
+let test_keyspace_concat () =
+  let open Keyspace in
+  Alcotest.(check abs_t) "constants fuse" (Const "ab")
+    (concat (Const "a") (Const "b"));
+  Alcotest.(check abs_t) "empty constant drops" (Param 0)
+    (concat (Const "") (Param 0));
+  Alcotest.(check abs_t) "nested concats flatten"
+    (Concat [ Const "a-"; Param 0; Const "-b" ])
+    (concat (concat (Const "a-") (Param 0)) (Const "-b"));
+  Alcotest.(check abs_t) "top poisons" Top (concat (Param 0) Top)
+
+let test_keyspace_sets () =
+  let open Keyspace in
+  Alcotest.(check (list abs_t))
+    "union sorts and dedups"
+    [ Const "x"; Param 0 ]
+    (union [ Param 0; Const "x" ] [ Const "x" ]);
+  Alcotest.(check (list abs_t))
+    "top absorbs the set" [ Top ]
+    (add Top [ Const "x"; Param 0 ]);
+  Alcotest.(check (list abs_t))
+    "widening past the cardinality bound" [ Top ]
+    (normalize (List.init (widen_limit + 1) (fun i -> Const (string_of_int i))))
+
+let test_keyspace_subst () =
+  let open Keyspace in
+  Alcotest.(check abs_t) "actual replaces the parameter" (Const "k")
+    (subst [ Const "k" ] (Param 0));
+  Alcotest.(check abs_t) "missing actual degrades to top" Top
+    (subst [] (Param 1));
+  Alcotest.(check abs_t) "substitution under concat"
+    (Concat [ Const "a-"; Param 2 ])
+    (subst [ Param 2 ] (Concat [ Const "a-"; Param 0 ]));
+  Alcotest.(check abs_t) "constant actual refolds the concat" (Const "a-x")
+    (subst [ Const "x" ] (Concat [ Const "a-"; Param 0 ]))
+
+let test_keyspace_covers () =
+  let open Keyspace in
+  Alcotest.(check bool) "top covers everything" true (covers [ Top ] (Param 3));
+  Alcotest.(check bool) "membership covers" true
+    (covers [ Const "x"; Param 0 ] (Param 0));
+  Alcotest.(check bool) "no match, no cover" false
+    (covers [ Param 0 ] (Param 1))
 
 (* --- spec drift over the real Figure 4 table -------------------------- *)
 
@@ -321,6 +431,21 @@ let () =
             test_json_deterministic;
           Alcotest.test_case "baseline fingerprint" `Quick
             test_baseline_ignores_line_moves;
+          Alcotest.test_case "render-parse-render stable" `Quick
+            test_json_render_parse_render_stable;
+          Alcotest.test_case "baseline survives round-trip" `Quick
+            test_baseline_survives_roundtrip;
+        ] );
+      ( "suppression-tags",
+        [
+          Alcotest.test_case "allow tag scope" `Quick test_allow_tag_suppresses;
+        ] );
+      ( "keyspace",
+        [
+          Alcotest.test_case "concat normalization" `Quick test_keyspace_concat;
+          Alcotest.test_case "set lattice" `Quick test_keyspace_sets;
+          Alcotest.test_case "substitution" `Quick test_keyspace_subst;
+          Alcotest.test_case "coverage" `Quick test_keyspace_covers;
         ] );
       ( "specdrift",
         [

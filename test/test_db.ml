@@ -148,6 +148,84 @@ let prop_commutative_ops_converge =
       Database.apply b (List.rev ops);
       Database.digest a = Database.digest b)
 
+let test_op_commutes () =
+  Alcotest.(check bool) "distinct keys always commute" true
+    (Op.commutes (Op.Set ("a", Value.Int 1)) (Op.Remove "b"));
+  Alcotest.(check bool) "same-key sets do not" false
+    (Op.commutes (Op.Set ("a", Value.Int 1)) (Op.Set ("a", Value.Int 2)));
+  Alcotest.(check bool) "same-key adds do" true
+    (Op.commutes (Op.Add ("a", 1)) (Op.Add ("a", 2)));
+  Alcotest.(check bool) "add vs set-if-newer, same key" true
+    (Op.commutes (Op.Add ("a", 1)) (Op.Set_if_newer ("a", Value.Int 2, 3)))
+
+(* The pairwise law Op.commutes promises — and the §6 validation-
+   skipping verdict of the key-space analysis rests on: whenever
+   [Op.commutes a b], applying [a; b] and [b; a] from the same start
+   state (itself randomly built, so counter and register key classes
+   both occur) converges to the same database. *)
+let prop_op_pairs_commute =
+  let gen_op =
+    QCheck.Gen.(
+      let key = map (Printf.sprintf "k%d") (int_bound 2) in
+      oneof
+        [
+          map2 (fun k n -> Op.Add (k, n)) key (int_range (-9) 9);
+          map3
+            (fun k n ts -> Op.Set_if_newer (k, Value.Int n, ts))
+            key (int_range 0 9) (int_range 1 6);
+          map2 (fun k n -> Op.Set (k, Value.Int n)) key (int_range 0 9);
+          map (fun k -> Op.Remove k) key;
+        ])
+  in
+  let print (prefix, (a, b)) =
+    Format.asprintf "%a / %a after prefix [%a]" Op.pp a Op.pp b
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+         Op.pp)
+      prefix
+  in
+  QCheck.Test.make ~name:"Op.commutes pairs really commute" ~count:500
+    (QCheck.make ~print
+       QCheck.Gen.(pair (list_size (int_bound 6) gen_op) (pair gen_op gen_op)))
+    (fun (prefix, (a, b)) ->
+      QCheck.assume (Op.commutes a b);
+      let run ops =
+        let db = Database.create () in
+        Database.apply db prefix;
+        Database.apply db ops;
+        Database.digest db
+      in
+      run [ a; b ] = run [ b; a ])
+
+(* The executor's procedure-trace hook reports the actual key accesses
+   (sorted, deduplicated) the runtime footprint validator consumes. *)
+let test_executor_trace () =
+  let db = Database.create () in
+  Database.apply db [ Op.Set ("alice", Value.Int 100) ];
+  let action =
+    Action.make ~server:0 ~index:1
+      (Action.Active
+         {
+           proc = "transfer";
+           args = [ Value.Text "alice"; Value.Text "bob"; Value.Int 30 ];
+         })
+  in
+  let traces = ref [] in
+  (match
+     Executor.execute
+       ~on_procedure:(fun tr -> traces := tr :: !traces)
+       ~procs db action
+   with
+  | Action.Procedure_output (Value.Int 1) -> ()
+  | r -> Alcotest.failf "unexpected %a" Action.pp_response r);
+  match !traces with
+  | [ tr ] ->
+    Alcotest.(check string) "procedure name" "transfer" tr.Executor.t_proc;
+    Alcotest.(check (list string)) "actual reads" [ "alice" ]
+      tr.Executor.t_reads;
+    Alcotest.(check (list string)) "actual writes" [ "alice"; "bob" ]
+      tr.Executor.t_writes
+  | l -> Alcotest.failf "expected one trace, got %d" (List.length l)
+
 let prop_executor_deterministic =
   QCheck.Test.make ~name:"execution is deterministic" ~count:100
     QCheck.(list (pair (int_bound 5) (int_range (-5) 5)))
@@ -247,7 +325,9 @@ let () =
           Alcotest.test_case "set/get" `Quick test_set_get;
           Alcotest.test_case "add/remove" `Quick test_add_remove;
           Alcotest.test_case "set-if-newer" `Quick test_set_if_newer;
+          Alcotest.test_case "op commutes" `Quick test_op_commutes;
           QCheck_alcotest.to_alcotest prop_commutative_ops_converge;
+          QCheck_alcotest.to_alcotest prop_op_pairs_commute;
         ] );
       ( "snapshots",
         [
@@ -260,6 +340,7 @@ let () =
           Alcotest.test_case "interactive abort" `Quick test_interactive_abort;
           Alcotest.test_case "query" `Quick test_executor_query;
           Alcotest.test_case "read-write" `Quick test_read_write_action;
+          Alcotest.test_case "procedure trace" `Quick test_executor_trace;
           QCheck_alcotest.to_alcotest prop_executor_deterministic;
         ] );
       ( "actions",

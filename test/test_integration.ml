@@ -406,6 +406,57 @@ let test_two_tenants_isolated () =
   repcheck_ok mon_a;
   repcheck_ok mon_b
 
+(* Runtime footprint validation end to end (paper §6): the guard rides
+   every replica's procedure hook, so a declared footprint is checked
+   against the actual key accesses of every replicated execution — and
+   a declaration that lies about its key space is caught on each
+   replica that applies the procedure. *)
+let test_procedure_guard () =
+  let w, mon = make_world ~seed:11 ~n:3 () in
+  let guard = World.attach_procedure_guard w in
+  run w ~ms:2_000.;
+  (* Honest traffic against the builtins' declared footprints. *)
+  World.submit_procedure w ~node:0 ~proc:"restock"
+    [ Value.Text "beans"; Value.Int 4 ];
+  World.submit_procedure w ~node:1 ~proc:"transfer"
+    [ Value.Text "beans"; Value.Text "rice"; Value.Int 1 ];
+  run w ~ms:3_000.;
+  Alcotest.(check bool) "each replica's executions were checked" true
+    (Check.Procguard.checked guard >= 6);
+  Check.Procguard.assert_ok guard;
+  (* A lying declaration: claims {param 0} but also writes a constant
+     key.  Every replica that applies it must report the violation. *)
+  List.iter
+    (fun r ->
+      Replica.register_procedure r "sneaky"
+        ~footprint:
+          { Procedure.reads = [ Procedure.Kparam 0 ];
+            writes = [ Procedure.Kparam 0 ] }
+        (fun _db args ->
+          match args with
+          | [ Value.Text k ] ->
+            {
+              Procedure.updates =
+                [ Op.Set (k, Value.Int 1); Op.Set ("shadow", Value.Int 1) ];
+              output = Value.Int 1;
+            }
+          | _ -> { Procedure.updates = []; output = Value.Int 0 }))
+    (World.replicas w);
+  World.submit_procedure w ~node:2 ~proc:"sneaky" [ Value.Text "front" ];
+  run w ~ms:3_000.;
+  (match Check.Procguard.violations guard with
+  | [] -> Alcotest.fail "undeclared write must be caught"
+  | vs ->
+    Alcotest.(check bool) "every replica reports it" true (List.length vs >= 3);
+    List.iter
+      (fun v ->
+        Alcotest.(check string) "procedure" "sneaky" v.Check.Procguard.v_proc;
+        Alcotest.(check string) "offending key" "shadow" v.Check.Procguard.v_key;
+        Alcotest.(check bool) "kind is write" true
+          (v.Check.Procguard.v_kind = Check.Procguard.Write))
+      vs);
+  repcheck_ok mon
+
 let () =
   Alcotest.run "integration"
     [
@@ -441,5 +492,10 @@ let () =
         [
           Alcotest.test_case "two worlds, isolated procedures" `Quick
             test_two_tenants_isolated;
+        ] );
+      ( "procedures",
+        [
+          Alcotest.test_case "footprint guard end to end" `Quick
+            test_procedure_guard;
         ] );
     ]

@@ -222,6 +222,8 @@ let test_nemesis_campaign_seed61 () =
   Alcotest.(check int) "every replica ready" config.Nemesis.nodes o.Nemesis.o_ready;
   Alcotest.(check bool) "monitor observed the run" true (o.Nemesis.o_sweeps > 0);
   Alcotest.(check bool) "workload ran" true (o.Nemesis.o_submitted > 0);
+  Alcotest.(check bool) "footprint guard exercised" true
+    (o.Nemesis.o_procs > 0);
   Alcotest.(check bool) "clean recovery exercised" true (o.Nemesis.o_clean >= 1);
   Alcotest.(check bool) "torn tail exercised" true (o.Nemesis.o_torn >= 1);
   Alcotest.(check bool) "salvage exercised" true (o.Nemesis.o_salvaged >= 1);
