@@ -1,0 +1,164 @@
+(* runtest guard over the committed BENCH_9.json (regenerated with
+   `dune exec bench/main.exe -- bench9 > BENCH_9.json`): re-parse the
+   overload report and re-assert the admission-control plateau from
+   the recorded numbers, so the robustness claim — goodput at twice
+   the saturation rate stays within 20% of the peak when replicas
+   shed, versus congestive collapse when they do not — can never
+   silently drift from the artifact.  Same deliberately small scanner
+   as check_bench6: flat machine-written JSON, no JSON library. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("BENCH_9 guard: " ^ s);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let is_num_char c =
+  (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E'
+
+(* Position just after ["key"] followed by a colon, searching from
+   [from]. *)
+let after_key_opt s ~from key =
+  let needle = "\"" ^ key ^ "\"" in
+  let nlen = String.length needle and len = String.length s in
+  let rec find i =
+    if i + nlen > len then None
+    else if String.sub s i nlen = needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  match find from with
+  | None -> None
+  | Some i ->
+    let rec colon i =
+      if i >= len then fail "no colon after key %S" key
+      else
+        match s.[i] with
+        | ':' -> Some (i + 1)
+        | ' ' | '\n' | '\t' -> colon (i + 1)
+        | c -> fail "unexpected %C after key %S" c key
+    in
+    colon i
+
+let after_key s ~from key =
+  match after_key_opt s ~from key with
+  | Some i -> i
+  | None -> fail "missing key %S" key
+
+let skip_ws s i =
+  let len = String.length s in
+  let rec go i =
+    if i < len && (s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\t') then go (i + 1)
+    else i
+  in
+  go i
+
+let number_at s i =
+  let i = skip_ws s i in
+  let len = String.length s in
+  let j = ref i in
+  while !j < len && is_num_char s.[!j] do incr j done;
+  if !j = i then fail "expected a number at offset %d" i;
+  float_of_string (String.sub s i (!j - i))
+
+let float_field s ~from key = number_at s (after_key s ~from key)
+
+let bool_field s ~from key =
+  let i = skip_ws s (after_key s ~from key) in
+  if String.length s - i >= 4 && String.sub s i 4 = "true" then true
+  else if String.length s - i >= 5 && String.sub s i 5 = "false" then false
+  else fail "expected a boolean for key %S" key
+
+(* Collect every value of [key] inside the array that starts right
+   after [from] and ends at its closing ']' (points are flat objects,
+   so bracket counting is not needed: stop at the first ']' at or
+   before which no further key occurs). *)
+let series s ~from ~upto key =
+  let rec go from acc =
+    match after_key_opt s ~from key with
+    | Some i when i < upto -> go i (number_at s i :: acc)
+    | _ -> List.rev acc
+  in
+  go from []
+
+let array_end s i =
+  let len = String.length s in
+  let rec go i =
+    if i >= len then fail "unterminated points array"
+    else if s.[i] = ']' then i
+    else go (i + 1)
+  in
+  go i
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_9.json" in
+  let s = read_file path in
+  let sat = float_field s ~from:0 "saturation_per_s" in
+  if sat <= 0. then fail "non-positive saturation rate %.1f" sat;
+  let with_adm = after_key s ~from:0 "with_admission" in
+  let with_end = array_end s with_adm in
+  let without_adm = after_key s ~from:0 "without_admission" in
+  let without_end = array_end s without_adm in
+  let point_series from upto =
+    ( series s ~from ~upto "offered_x",
+      series s ~from ~upto "goodput_per_s",
+      series s ~from ~upto "max_cpu_queue" )
+  in
+  let adm_x, adm_g, adm_q = point_series with_adm with_end in
+  let no_x, no_g, no_q = point_series without_adm without_end in
+  let n = List.length adm_x in
+  if n < 4 then fail "with-admission sweep has only %d points" n;
+  if List.length no_x <> n then fail "sweep lengths disagree";
+  if List.length adm_g <> n || List.length no_g <> n then
+    fail "goodput series length mismatch";
+  if List.length adm_q <> n || List.length no_q <> n then
+    fail "cpu-queue series length mismatch";
+  let at xs ys x =
+    let rec go xs ys =
+      match (xs, ys) with
+      | x' :: _, y :: _ when Float.abs (x' -. x) < 1e-9 -> y
+      | _ :: xs, _ :: ys -> go xs ys
+      | _ -> fail "sweep is missing the %.1fx point" x
+    in
+    go xs ys
+  in
+  (* Recompute the plateau from the recorded curves rather than
+     trusting the recorded guard fields. *)
+  let peak_adm = List.fold_left Float.max 0. adm_g in
+  let adm_2x = at adm_x adm_g 2.0 in
+  let no_2x = at no_x no_g 2.0 in
+  if adm_2x < 0.8 *. peak_adm then
+    fail "plateau miss: %.1f/s at 2x < 80%% of the %.1f/s peak" adm_2x peak_adm;
+  (* The baseline must actually collapse — otherwise the plateau
+     demonstrates nothing. *)
+  if no_2x > 0.5 *. adm_2x then
+    fail
+      "no collapse to protect against: %.1f/s without admission at 2x vs \
+       %.1f/s with"
+      no_2x adm_2x;
+  (* Attribution: the collapsed points must show the congestion (an
+     unbounded CPU receive queue), and the shedding points must not. *)
+  let no_q_2x = at no_x no_q 2.0 in
+  let adm_q_2x = at adm_x adm_q 2.0 in
+  if no_q_2x < 1_000. then
+    fail "collapsed 2x point shows no CPU backlog (queue %.0f)" no_q_2x;
+  if adm_q_2x > 1_000. then
+    fail "admitted 2x point shows a CPU backlog (queue %.0f)" adm_q_2x;
+  (* Cross-check the recorded guard block against the recomputation. *)
+  let guard = after_key s ~from:0 "guard" in
+  let rec_adm_2x = float_field s ~from:guard "goodput_at_2x_with_admission" in
+  if Float.abs (rec_adm_2x -. adm_2x) > 0.5 then
+    fail "guard block (%.1f) disagrees with the curve (%.1f)" rec_adm_2x adm_2x;
+  if not (bool_field s ~from:guard "plateau_pass") then
+    fail "report records plateau_pass=false";
+  Printf.printf
+    "BENCH_9 guard: OK (saturation %.0f/s; 2x goodput %.1f/s with admission \
+     [>= 80%% of peak %.1f/s] vs %.1f/s without; collapse queue %.0f)\n"
+    sat adm_2x peak_adm no_2x no_q_2x

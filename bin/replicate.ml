@@ -158,7 +158,37 @@ let fuzz_cmd =
          "Random partition/crash/recover schedule with the consistency           checker after every step.")
     Term.(const fuzz $ seed_t $ rounds_t)
 
-let nemesis seed nodes ms settle expect =
+let nemesis_outcome_json seed (o : Repro_harness.Nemesis.outcome) =
+  let open Repro_harness in
+  let b = Buffer.create 512 in
+  let field name v = Printf.bprintf b "  %S: %d,\n" name v in
+  Buffer.add_string b "{\n";
+  field "seed" seed;
+  field "steps" o.Nemesis.o_steps;
+  field "submitted" o.o_submitted;
+  field "crashes" o.o_crashes;
+  field "recoveries" o.o_recoveries;
+  field "corruptions" o.o_corruptions;
+  field "partitions" o.o_partitions;
+  field "heals" o.o_heals;
+  field "clean" o.o_clean;
+  field "torn" o.o_torn;
+  field "salvaged" o.o_salvaged;
+  field "amnesia" o.o_amnesia;
+  field "ready" o.o_ready;
+  field "greens" o.o_greens;
+  field "client_acked" o.o_client_acked;
+  field "retries" o.o_retries;
+  field "failovers" o.o_failovers;
+  field "dupes_suppressed" o.o_dupes_suppressed;
+  field "shed" o.o_shed;
+  Printf.bprintf b "  %S: %b,\n" "converged" (Nemesis.converged o);
+  Printf.bprintf b "  %S: [%s]\n" "violations"
+    (String.concat ", " (List.map (Printf.sprintf "%S") o.o_violations));
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+let nemesis seed nodes ms settle expect json =
   let open Repro_harness in
   let config =
     {
@@ -169,13 +199,17 @@ let nemesis seed nodes ms settle expect =
       settle_ms = settle;
     }
   in
-  Format.fprintf ppf
+  (* [--json] keeps stdout machine-parseable: the human narration moves
+     to stderr so the document can be piped or archived as-is. *)
+  let human = if json then Format.err_formatter else ppf in
+  Format.fprintf human
     "nemesis: seed %d, %d nodes, %.0f ms active / %.0f ms settle@." seed nodes
     ms settle;
   let o = Nemesis.run ~config () in
-  Format.fprintf ppf "%a@." Nemesis.pp_outcome o;
+  Format.fprintf human "%a@." Nemesis.pp_outcome o;
+  if json then Format.fprintf ppf "%s@." (nemesis_outcome_json seed o);
   if expect = `Clean && not (Nemesis.converged o) then begin
-    Format.fprintf ppf
+    Format.fprintf human
       "FAILED expectation: convergence with zero checker violations@.";
     exit 1
   end
@@ -209,6 +243,14 @@ let nemesis_cmd =
              both checkers (repcheck monitor + consistency catalogue) are \
              silent.")
   in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Also print the outcome as a JSON object (machine-readable, for \
+             sweeps).")
+  in
   Cmd.v
     (Cmd.info "nemesis"
        ~doc:
@@ -216,7 +258,7 @@ let nemesis_cmd =
           faults (torn tails, corruption, read errors), partitions and \
           heals under sustained load, then heal, recover and assert \
           convergence and a clean invariant-monitor sweep.")
-    Term.(const nemesis $ seed_t $ nodes_t $ ms_t $ settle_t $ expect_t)
+    Term.(const nemesis $ seed_t $ nodes_t $ ms_t $ settle_t $ expect_t $ json_t)
 
 let scale () = ignore (Repro_harness.Figures.ablation_scale ppf ())
 

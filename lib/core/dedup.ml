@@ -1,0 +1,142 @@
+open Repro_db
+
+(* Per-client exactly-once bookkeeping, living in replicated state.
+
+   Correctness rests on the client contract: a client issues request
+   sequence numbers 1, 2, 3, ... in FIFO order with at most one number
+   outstanding, and only moves to [seq+1] after receiving a response
+   for [seq].  A retried request therefore satisfies
+   [seq <= highest applied] exactly when some copy of it already
+   executed — contiguity is NOT assumed, because a stale copy created
+   before a partition can reach the green order after later sequence
+   numbers from the same client (the engine orders every created copy;
+   only the first one in green order executes).
+
+   Every mutation happens on the green apply path, so the table is a
+   pure function of the green prefix and is identical on every replica
+   at the same green position — which is what lets it ride checkpoints
+   and state-transfer snapshots. *)
+
+type entry = {
+  mutable e_hi : int;  (* highest req_seq applied for this client *)
+  mutable e_ack : int;  (* client-acked low-water mark *)
+  mutable e_cache : (int * Action.response) list;  (* seq descending *)
+}
+
+type t = {
+  d_window : int;
+  d_tbl : (int, entry) Hashtbl.t;
+}
+
+type verdict = Fresh | Duplicate of Action.response option
+
+let create ~window () =
+  { d_window = max 1 window; d_tbl = Hashtbl.create 16 }
+
+let window t = t.d_window
+
+let entry t client =
+  match Hashtbl.find_opt t.d_tbl client with
+  | Some e -> e
+  | None ->
+    let e = { e_hi = 0; e_ack = 0; e_cache = [] } in
+    Hashtbl.replace t.d_tbl client e;
+    e
+
+let check t ~client ~seq =
+  if seq <= 0 then Fresh
+  else
+    match Hashtbl.find_opt t.d_tbl client with
+    | None -> Fresh
+    | Some e ->
+      if seq <= e.e_hi then Duplicate (List.assoc_opt seq e.e_cache)
+      else Fresh
+
+let is_applied t ~client ~seq =
+  match check t ~client ~seq with Duplicate _ -> true | Fresh -> false
+
+(* The cache bound: drop everything the client acknowledged, then keep
+   at most [window] of the newest unacknowledged responses.  The ack
+   low-water is the primary bound; the window caps growth when a
+   client's acks lag (e.g. it crashed between issue and ack). *)
+let prune t e =
+  e.e_cache <-
+    List.filteri
+      (fun i _ -> i < t.d_window)
+      (List.filter (fun (s, _) -> s > e.e_ack) e.e_cache)
+
+let observe_ack t ~client ~ack =
+  if ack > 0 then
+    match Hashtbl.find_opt t.d_tbl client with
+    | None -> ()
+    | Some e ->
+      if ack > e.e_ack then begin
+        e.e_ack <- ack;
+        prune t e
+      end
+
+let record t ~client ~seq ~ack response =
+  if seq > 0 then begin
+    let e = entry t client in
+    if seq > e.e_hi then e.e_hi <- seq;
+    if ack > e.e_ack then e.e_ack <- ack;
+    e.e_cache <-
+      List.sort
+        (fun (a, _) (b, _) -> Int.compare b a)
+        ((seq, response) :: List.filter (fun (s, _) -> s <> seq) e.e_cache);
+    prune t e
+  end
+
+let clients t = Hashtbl.length t.d_tbl
+
+let max_cached t =
+  Hashtbl.fold (fun _ e acc -> max acc (List.length e.e_cache)) t.d_tbl 0
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots: pure data, deterministically ordered so two replicas at
+   the same green position serialize identically. *)
+
+type client_state = {
+  s_client : int;
+  s_hi : int;
+  s_ack : int;
+  s_cache : (int * Action.response) list;
+}
+
+type snapshot = { s_window : int; s_clients : client_state list }
+
+let snapshot t =
+  let cs =
+    Hashtbl.fold
+      (fun c e acc ->
+        { s_client = c; s_hi = e.e_hi; s_ack = e.e_ack; s_cache = e.e_cache }
+        :: acc)
+      t.d_tbl []
+  in
+  {
+    s_window = t.d_window;
+    s_clients =
+      List.sort (fun a b -> Int.compare a.s_client b.s_client) cs;
+  }
+
+let of_snapshot s =
+  let t = create ~window:s.s_window () in
+  List.iter
+    (fun c ->
+      Hashtbl.replace t.d_tbl c.s_client
+        { e_hi = c.s_hi; e_ack = c.s_ack; e_cache = c.s_cache })
+    s.s_clients;
+  t
+
+let empty_snapshot ~window = { s_window = max 1 window; s_clients = [] }
+
+(* The convergence-relevant summary: (client, highest applied, acked)
+   triples in client order.  Cached response bodies are a function of
+   these plus the database, so equality of summaries across replicas is
+   the right convergence check. *)
+let summary t =
+  List.map (fun c -> (c.s_client, c.s_hi, c.s_ack)) (snapshot t).s_clients
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>dedup{%d clients, window %d}@]" (clients t)
+    t.d_window

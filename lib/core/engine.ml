@@ -29,6 +29,8 @@ type buffered_request = {
   bq_semantics : Action.semantics;
   bq_size : int;
   bq_kind : Action.kind;
+  bq_req_seq : int;
+  bq_req_ack : int;
   bq_on_created : Action.Id.t -> unit;
 }
 
@@ -117,6 +119,9 @@ let green_line t = Action_queue.green_line t.queue
 let ongoing_actions t = t.ongoing
 let attempt t = t.attempt
 let red_cut t s = match Hashtbl.find_opt t.red_cut s with Some c -> c | None -> 0
+
+let green_cut t s =
+  match Hashtbl.find_opt t.green_cut s with Some c -> c | None -> 0
 
 let green_cut_map t =
   Hashtbl.fold (fun s c acc -> Node_id.Map.add s c acc) t.green_cut
@@ -288,7 +293,15 @@ and drain_pending_red t creator =
    PERSISTENT_JOIN / PERSISTENT_LEAVE (CodeSegment 5.1). *)
 let mark_green t (a : Action.t) =
   ignore (mark_red t a);
-  if not (Action_queue.is_green t.queue a.id) then begin
+  (* [is_green] only sees the queue above its floor; after a snapshot
+     resync (or a checkpoint discard) an id greened below the floor is
+     invisible to it, but the per-creator green cut still covers it —
+     re-appending such a copy would fork the total order against
+     replicas that remember the original position. *)
+  if
+    (not (Action_queue.is_green t.queue a.id))
+    && a.id.index > green_cut t a.id.server
+  then begin
     (* FIFO per creator makes green prefixes per creator contiguous; a
        green marking can therefore never jump over a missing red. *)
     if a.id.index > red_cut t a.id.server then
@@ -365,19 +378,24 @@ let install t =
 (* ------------------------------------------------------------------ *)
 (* Client requests (paper A.1/A.2 Client_req, A.8)                     *)
 
-let create_action t ~client ~semantics ~size ~kind ~on_created =
+let create_action t ~client ~semantics ~size ~req_seq ~req_ack ~kind
+    ~on_created =
   t.action_index <- t.action_index + 1;
   let a =
     Action.make ~client ~semantics
       ~green_line:(Action_queue.green_line t.queue)
-      ~size ~server:t.node ~index:t.action_index kind
+      ~size ~req_seq ~req_ack ~server:t.node ~index:t.action_index kind
   in
   t.ongoing <- t.ongoing @ [ a ];
   on_created a.Action.id;
   a
 
-let create_and_log t ~client ~semantics ~size ~kind ~on_created =
-  let a = create_action t ~client ~semantics ~size ~kind ~on_created in
+let create_and_log t ~client ~semantics ~size ~req_seq ~req_ack ~kind
+    ~on_created =
+  let a =
+    create_action t ~client ~semantics ~size ~req_seq ~req_ack ~kind
+      ~on_created
+  in
   Persist.log_ongoing t.persist a;
   a
 
@@ -409,7 +427,8 @@ let flush_submissions t =
           List.map
             (fun r ->
               create_action t ~client:r.bq_client ~semantics:r.bq_semantics
-                ~size:r.bq_size ~kind:r.bq_kind ~on_created:r.bq_on_created)
+                ~size:r.bq_size ~req_seq:r.bq_req_seq ~req_ack:r.bq_req_ack
+                ~kind:r.bq_kind ~on_created:r.bq_on_created)
             requests
         in
         Persist.log_ongoing_batch t.persist actions;
@@ -423,14 +442,17 @@ let flush_submissions t =
         t.buffered <- t.buffered @ List.rev requests
   end
 
-let submit t ?(client = 0) ?(semantics = Action.Strict) ?(size = 200) ~kind
-    ~on_created () =
+let submit t ?(client = 0) ?(semantics = Action.Strict) ?(size = 200)
+    ?(req_seq = 0) ?(req_ack = 0) ~kind ~on_created () =
   if not t.halted then
     match t.state with
     | Reg_prim | Non_prim -> (
       match t.submit_delay with
       | None ->
-        let a = create_and_log t ~client ~semantics ~size ~kind ~on_created in
+        let a =
+          create_and_log t ~client ~semantics ~size ~req_seq ~req_ack ~kind
+            ~on_created
+        in
         sync_then t (fun () ->
             send_payload t ~service:Endpoint.Safe (Action_msg a))
       | Some delay ->
@@ -440,6 +462,8 @@ let submit t ?(client = 0) ?(semantics = Action.Strict) ?(size = 200) ~kind
             bq_semantics = semantics;
             bq_size = size;
             bq_kind = kind;
+            bq_req_seq = req_seq;
+            bq_req_ack = req_ack;
             bq_on_created = on_created;
           }
           :: t.pending_submit;
@@ -456,6 +480,8 @@ let submit t ?(client = 0) ?(semantics = Action.Strict) ?(size = 200) ~kind
           bq_semantics = semantics;
           bq_size = size;
           bq_kind = kind;
+          bq_req_seq = req_seq;
+          bq_req_ack = req_ack;
           bq_on_created = on_created;
         }
         :: t.buffered
@@ -477,7 +503,8 @@ let handle_buffered t =
       List.map
         (fun r ->
           create_action t ~client:r.bq_client ~semantics:r.bq_semantics
-            ~size:r.bq_size ~kind:r.bq_kind ~on_created:r.bq_on_created)
+            ~size:r.bq_size ~req_seq:r.bq_req_seq ~req_ack:r.bq_req_ack
+            ~kind:r.bq_kind ~on_created:r.bq_on_created)
         requests
     in
     Persist.log_ongoing_batch t.persist actions;
@@ -925,7 +952,7 @@ let create ?weights ?quorum_policy ?submit_delay ~sim ~node ~servers ~persist
 let stats t = t.stats
 
 let create_from_snapshot ?weights ?(action_floor = 0) ?submit_delay ~sim ~node
-    ~servers ~snapshot ~green_count ~green_line ~red_cut ~prim ~persist
+    ~servers ~snapshot ~green_count ~green_line ~red_cut ~prim ~dedup ~persist
     ~callbacks () =
   let t =
     make_blank ?weights ?submit_delay ~sim ~node ~servers ~persist ~callbacks ()
@@ -969,6 +996,7 @@ let create_from_snapshot ?weights ?(action_floor = 0) ?submit_delay ~sim ~node
       c_green_line = green_line;
       c_green_cut = red_cut;
       c_meta = meta_of t;
+      c_dedup = dedup;
     };
   sync_then t (fun () -> ());
   t
@@ -1027,14 +1055,12 @@ let recover ?weights ?quorum_policy ?submit_delay ?recovered ~sim ~node
   flush_marks t;
   log_meta t;
   sync_then t (fun () -> ());
-  ( t,
-    Option.map (fun c -> c.Persist.c_snapshot) r.Persist.r_checkpoint,
-    r.Persist.r_green )
+  (t, r.Persist.r_checkpoint, r.Persist.r_green)
 
 (* A durable checkpoint: the caller supplies the database snapshot taken
    at the current green position; the log is then compacted and white
    action bodies (green everywhere) are dropped from memory. *)
-let checkpoint t snapshot =
+let checkpoint t ~dedup snapshot =
   Persist.log_checkpoint t.persist
     {
       Persist.c_snapshot = snapshot;
@@ -1042,6 +1068,7 @@ let checkpoint t snapshot =
       c_green_line = Action_queue.green_line t.queue;
       c_green_cut = green_cut_map t;
       c_meta = meta_of t;
+      c_dedup = dedup;
     };
   sync_then t (fun () ->
       Persist.compact t.persist;

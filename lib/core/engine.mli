@@ -101,6 +101,7 @@ val create_from_snapshot :
   green_line:Action.Id.t option ->
   red_cut:int Node_id.Map.t ->
   prim:Types.prim_component ->
+  dedup:Dedup.snapshot ->
   persist:Persist.t ->
   callbacks:callbacks ->
   unit ->
@@ -108,9 +109,11 @@ val create_from_snapshot :
 (** A dynamically instantiated replica (paper CodeSegment 5.2): its green
     prefix starts at the transferred [green_count] with no action bodies
     (the database state arrived by [snapshot], which is logged as this
-    replica's first durable checkpoint).  [action_floor] seeds the
-    action-index counter: an amnesiac rejoiner passes the sponsor's red
-    cut for it, so ids of its discarded life are never re-minted. *)
+    replica's first durable checkpoint, [dedup] — the sponsor's
+    exactly-once window at the same green position — included).
+    [action_floor] seeds the action-index counter: an amnesiac rejoiner
+    passes the sponsor's red cut for it, so ids of its discarded life
+    are never re-minted. *)
 
 val recover :
   ?weights:Quorum.weights ->
@@ -123,11 +126,12 @@ val recover :
   persist:Persist.t ->
   callbacks:callbacks ->
   unit ->
-  t * Database.snapshot option * Action.t list
+  t * Persist.checkpoint option * Action.t list
 (** Rebuilds the engine from the durable log (paper CodeSegment A.13):
-    returns the engine, the latest checkpoint's database snapshot (if
-    any) and the green actions after it, in green order, so the caller
-    can rebuild its database.  Ongoing own actions past the durable red
+    returns the engine, the latest durable checkpoint (if any — its
+    database snapshot and exactly-once window travel together) and the
+    green actions after it, in green order, so the caller can rebuild
+    its database.  Ongoing own actions past the durable red
     cut are re-marked red and stay queued for re-proposal after the
     next state exchange.  [recovered] supplies an already-performed
     [Persist.recover] result (the caller typically branched on its
@@ -135,12 +139,12 @@ val recover :
     discarded log); when absent the log is recovered here.  Do not call
     with a [V_amnesia] verdict. *)
 
-val checkpoint : t -> Database.snapshot -> unit
+val checkpoint : t -> dedup:Dedup.snapshot -> Database.snapshot -> unit
 (** Records a durable checkpoint of the engine's green knowledge paired
-    with the database [snapshot] at the same point, then compacts the
-    write-ahead log and discards stored bodies of white actions (green
-    at every known server).  Call with a snapshot taken at the current
-    green position. *)
+    with the database [snapshot] and exactly-once window [dedup] at the
+    same point, then compacts the write-ahead log and discards stored
+    bodies of white actions (green at every known server).  Call with a
+    snapshot taken at the current green position. *)
 
 (* --- Event input -------------------------------------------------- *)
 
@@ -164,13 +168,17 @@ val submit :
   ?client:int ->
   ?semantics:Action.semantics ->
   ?size:int ->
+  ?req_seq:int ->
+  ?req_ack:int ->
   kind:Action.kind ->
   on_created:(Action.Id.t -> unit) ->
   unit ->
   unit
 (** A client request: creates the action now when in [Reg_prim] or
     [Non_prim] (write to the ongoing queue, forced sync, then multicast)
-    and buffers it otherwise; [on_created] reports the assigned id. *)
+    and buffers it otherwise; [on_created] reports the assigned id.
+    [req_seq]/[req_ack] stamp the durable per-client request id for
+    exactly-once retries (see {!Action.t}); both default to 0. *)
 
 (* --- Observation --------------------------------------------------- *)
 

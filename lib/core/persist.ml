@@ -8,6 +8,7 @@ type checkpoint = {
   c_green_line : Action.Id.t option;
   c_green_cut : int Node_id.Map.t;
   c_meta : Types.meta;
+  c_dedup : Dedup.snapshot;
 }
 
 type entry =
@@ -113,9 +114,14 @@ let parse ~self entries =
       | E_checkpoint c ->
         (* The checkpoint summarises everything before it: the green
            prefix lives in its snapshot, red actions it covers are green
-           inside it. *)
+           inside it.  Its green cut also bounds the indexes our own
+           dead incarnations minted — records of those actions may have
+           been compacted away, and re-minting a greened id would
+           collide forever. *)
         checkpoint := Some c;
         meta := Some c.c_meta;
+        if cut_of c.c_green_cut self > !action_index then
+          action_index := cut_of c.c_green_cut self;
         green_rev := [];
         Hashtbl.reset greened;
         red_order_rev :=

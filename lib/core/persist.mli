@@ -51,6 +51,10 @@ type checkpoint = {
   c_green_line : Action.Id.t option;
   c_green_cut : int Node_id.Map.t;
   c_meta : Types.meta;
+  c_dedup : Dedup.snapshot;
+      (** the per-client exactly-once window at the same green position
+          as [c_snapshot] — restored alongside it so recovery and
+          §5.1 joiners never re-execute an already-applied request *)
 }
 
 val log_checkpoint : t -> checkpoint -> unit

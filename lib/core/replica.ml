@@ -25,6 +25,10 @@ type transfer_payload = {
       (* the sponsor's red cut for the joiner: an amnesiac rejoiner
          resumes action numbering above everything the group has seen
          from its previous life *)
+  td_dedup : Dedup.snapshot;
+      (* the sponsor's exactly-once window at the same green position
+         as td_snapshot: the joiner must suppress retries of requests
+         applied before it existed *)
 }
 
 type transfer_msg =
@@ -65,6 +69,16 @@ type role =
   | Static  (** member of the initial server set *)
   | Joiner of { sponsors : Node_id.t list; retry : Sim.Time.t }
 
+(* Admission control: shed a submission with [Action.Busy] — before it
+   is created, logged or ordered — once this replica's backlog crosses
+   either threshold.  Both are local quantities, so the gate is cheap
+   and needs no coordination. *)
+type admission = {
+  adm_max_inflight : int;
+      (* own strict submissions awaiting their green response *)
+  adm_max_red : int;  (* ordered-but-not-yet-green backlog *)
+}
+
 type t = {
   cluster : cluster;
   node_id : Node_id.t;
@@ -101,6 +115,16 @@ type t = {
   mutable query_waiters : (unit -> unit) list; (* awaiting own-action drain *)
   mutable greens_applied : int;
   mutable actions_submitted : int;
+  dedup_window : int;
+  mutable dedup : Dedup.t;
+      (* replicated exactly-once state: mutated only on the green apply
+         path, reset on crash, restored from checkpoints and transfer
+         snapshots (it is a function of the green prefix) *)
+  admission : admission option;
+  mutable dupes_suppressed : int;
+      (* retried-but-already-applied requests answered from the dedup
+         cache instead of re-executing (recovery replay included) *)
+  mutable shed : int; (* submissions answered [Busy] by admission *)
   mutable left : bool;
   mutable audit : (Engine.audit_event -> unit) option;
       (* re-attached to every engine this replica creates *)
@@ -143,8 +167,19 @@ let corrupt_log t ~nth = Persist.corrupt_nth t.persist nth
 let greens_applied t = t.greens_applied
 let log_entries t = Persist.entries_logged t.persist
 let log_flushes t = Disk.flushes (Persist.disk t.persist)
+
+let cpu_stats t =
+  match t.cpu with
+  | Some cpu ->
+    Some (Sim.Resource.queue_length cpu, Sim.Resource.busy_time cpu)
+  | None -> None
 let transfer_chunks_sent t = t.transfer_chunks_sent
 let actions_submitted t = t.actions_submitted
+let dupes_suppressed t = t.dupes_suppressed
+let shed t = t.shed
+let dedup_window t = t.dedup_window
+let dedup_max_cached t = Dedup.max_cached t.dedup
+let dedup_summary t = Dedup.summary t.dedup
 
 (* ------------------------------------------------------------------ *)
 (* Engine callbacks                                                    *)
@@ -164,7 +199,8 @@ let checkpoint_now t =
   | None -> ()
   | Some e ->
     t.greens_since_checkpoint <- 0;
-    Engine.checkpoint e (Database.snapshot t.db)
+    Engine.checkpoint e ~dedup:(Dedup.snapshot t.dedup)
+      (Database.snapshot t.db)
 
 let flush_query_waiters t =
   if Hashtbl.length t.pending = 0 && t.query_waiters <> [] then begin
@@ -172,6 +208,28 @@ let flush_query_waiters t =
     t.query_waiters <- [];
     List.iter (fun k -> k ()) waiters
   end
+
+(* Execute one green action with exactly-once suppression.  Every path
+   that applies greens — live apply, recovery replay — goes through
+   here, so the dedup decision is a pure function of the green prefix
+   and identical on every replica and across restarts.  A duplicate (a
+   retried copy of a request some earlier copy already applied) is
+   answered from the bounded response cache; once the client's ack
+   low-water evicted the entry no legitimate retry can still want it,
+   so the stray copy gets [Aborted]. *)
+let execute_green t (a : Action.t) =
+  match Dedup.check t.dedup ~client:a.Action.client ~seq:a.Action.req_seq with
+  | Dedup.Duplicate cached ->
+    t.dupes_suppressed <- t.dupes_suppressed + 1;
+    Dedup.observe_ack t.dedup ~client:a.Action.client ~ack:a.Action.req_ack;
+    (match cached with Some r -> r | None -> Action.Aborted)
+  | Dedup.Fresh ->
+    let response =
+      Executor.execute ?on_procedure:t.proc_hook ~procs:t.procs t.db a
+    in
+    Dedup.record t.dedup ~client:a.Action.client ~seq:a.Action.req_seq
+      ~ack:a.Action.req_ack response;
+    response
 
 (* Group-committed apply: one delivery burst's green actions execute
    back to back against the database, with the per-burst bookkeeping
@@ -183,9 +241,7 @@ let apply_green_batch t (actions : Action.t list) =
   t.dirty_cache <- None;
   List.iter
     (fun (a : Action.t) ->
-      let response =
-        Executor.execute ?on_procedure:t.proc_hook ~procs:t.procs t.db a
-      in
+      let response = execute_green t a in
       if Node_id.equal a.Action.id.server t.node_id then
         match Hashtbl.find_opt t.pending a.Action.id with
         | Some k ->
@@ -212,10 +268,23 @@ let apply_red t (a : Action.t) =
     match Hashtbl.find_opt t.pending a.Action.id with
     | Some k ->
       Hashtbl.remove t.pending a.Action.id;
-      (* The response is computed against the dirty state. *)
-      k
-        (Executor.execute ?on_procedure:t.proc_hook ~procs:t.procs
-           (Database.copy t.db) a)
+      (* A retried copy of an already-green request must not observe a
+         double-application even through the early red answer. *)
+      if Dedup.is_applied t.dedup ~client:a.Action.client ~seq:a.Action.req_seq
+      then begin
+        t.dupes_suppressed <- t.dupes_suppressed + 1;
+        k
+          (match
+             Dedup.check t.dedup ~client:a.Action.client ~seq:a.Action.req_seq
+           with
+          | Dedup.Duplicate (Some r) -> r
+          | Dedup.Duplicate None | Dedup.Fresh -> Action.Aborted)
+      end
+      else
+        (* The response is computed against the dirty state. *)
+        k
+          (Executor.execute ?on_procedure:t.proc_hook ~procs:t.procs
+             (Database.copy t.db) a)
     | None -> ()
 
 let transfer_chunk_bytes = 65_536
@@ -241,6 +310,7 @@ let do_transfer ?(from_chunk = 0) t ~joiner =
         td_servers = Engine.known_servers e;
         td_snapshot = snapshot;
         td_joiner_floor = Engine.red_cut e joiner;
+        td_dedup = Dedup.snapshot t.dedup;
       }
     in
     (* Paced at roughly line rate: streaming, not a burst — a crash or
@@ -283,7 +353,13 @@ let make_callbacks t =
     on_red = (fun a -> apply_red t a);
     on_transfer_request =
       (fun ~joiner ~join_green_count ->
-        on_transfer_request t ~joiner ~join_green_count);
+        (* The request fires inside a delivery burst, where green marks
+           may be ahead of the database (applies run at burst end).
+           Defer the capture one event so snapshot and green count are
+           taken from the same consistent instant. *)
+        ignore
+          (Sim.Engine.schedule t.cluster.c_sim ~delay:Sim.Time.zero (fun () ->
+               on_transfer_request t ~joiner ~join_green_count)));
     on_self_leave =
       (fun () ->
         t.left <- true;
@@ -363,6 +439,7 @@ let on_transfer_msg t ~src msg =
             t.joiner_waiting <- false;
             t.incoming <- None;
             t.db <- Database.of_snapshot p.td_snapshot;
+            t.dedup <- Dedup.of_snapshot p.td_dedup;
             let e =
               Engine.create_from_snapshot ~weights:t.weights
                 ?submit_delay:t.submit_delay
@@ -372,7 +449,7 @@ let on_transfer_msg t ~src msg =
                 ~snapshot:p.td_snapshot
                 ~green_count:tc_version.tv_green_count
                 ~green_line:p.td_green_line ~red_cut:p.td_red_cut
-                ~prim:p.td_prim ~persist:t.persist
+                ~prim:p.td_prim ~dedup:p.td_dedup ~persist:t.persist
                 ~callbacks:(make_callbacks t) ()
             in
             t.amnesia_floor <- 0;
@@ -394,8 +471,8 @@ let on_transfer_msg t ~src msg =
 
 let base ?(disk_config = Disk.default_forced) ?(attach_cpu = true)
     ?(checkpoint_every = Some 2000) ?(weights = Quorum.no_weights)
-    ?(quorum_policy = Quorum.Dynamic_linear) ?submit_delay ~cluster ~node
-    ~servers ~role () =
+    ?(quorum_policy = Quorum.Dynamic_linear) ?submit_delay
+    ?(dedup_window = 8) ?admission ~cluster ~node ~servers ~role () =
   let disk = Disk.create ~engine:cluster.c_sim ~config:disk_config () in
   let persist = Persist.create ~engine:cluster.c_sim ~disk () in
   let cpu =
@@ -437,6 +514,11 @@ let base ?(disk_config = Disk.default_forced) ?(attach_cpu = true)
       incoming = None;
       greens_applied = 0;
       actions_submitted = 0;
+      dedup_window;
+      dedup = Dedup.create ~window:dedup_window ();
+      admission;
+      dupes_suppressed = 0;
+      shed = 0;
       left = false;
       audit = None;
       proc_hook = None;
@@ -450,11 +532,12 @@ let base ?(disk_config = Disk.default_forced) ?(attach_cpu = true)
   t
 
 let create ?disk_config ?attach_cpu ?checkpoint_every ?weights ?quorum_policy
-    ?submit_delay ~cluster ~node ~servers () =
+    ?submit_delay ?dedup_window ?admission ~cluster ~node ~servers () =
   let servers = Node_id.set_of_list servers in
   let t =
     base ?disk_config ?attach_cpu ?checkpoint_every ?weights ?quorum_policy
-      ?submit_delay ~cluster ~node ~servers ~role:Static ()
+      ?submit_delay ?dedup_window ?admission ~cluster ~node ~servers
+      ~role:Static ()
   in
   let e =
     Engine.create ~weights:t.weights ~quorum_policy:t.quorum_policy
@@ -469,9 +552,10 @@ let create ?disk_config ?attach_cpu ?checkpoint_every ?weights ?quorum_policy
   t
 
 let create_joiner ?disk_config ?attach_cpu ?checkpoint_every ?submit_delay
-    ?(retry_interval = Sim.Time.of_ms 500.) ~cluster ~node ~sponsors () =
-  base ?disk_config ?attach_cpu ?checkpoint_every ?submit_delay ~cluster ~node
-    ~servers:Node_id.Set.empty
+    ?dedup_window ?admission ?(retry_interval = Sim.Time.of_ms 500.) ~cluster
+    ~node ~sponsors () =
+  base ?disk_config ?attach_cpu ?checkpoint_every ?submit_delay ?dedup_window
+    ?admission ~cluster ~node ~servers:Node_id.Set.empty
     ~role:(Joiner { sponsors; retry = retry_interval })
     ()
 
@@ -506,15 +590,35 @@ let start t =
 (* ------------------------------------------------------------------ *)
 (* Client interface                                                    *)
 
-let submit t ?(client = 1) ?(semantics = Action.Strict) ?(size = 200) kind
-    ~on_response =
+let overloaded t =
+  match t.admission with
+  | None -> false
+  | Some adm ->
+    Hashtbl.length t.pending >= adm.adm_max_inflight
+    ||
+    (match t.engine with
+    | Some e -> Engine.red_count e >= adm.adm_max_red
+    | None -> false)
+
+let submit t ?(client = 1) ?(semantics = Action.Strict) ?(size = 200)
+    ?(req_seq = 0) ?(req_ack = 0) kind ~on_response =
   match t.engine with
   | None -> ()
   | Some e ->
-    t.actions_submitted <- t.actions_submitted + 1;
-    Engine.submit e ~client ~semantics ~size ~kind
-      ~on_created:(fun id -> Hashtbl.replace t.pending id on_response)
-      ()
+    if overloaded t then begin
+      (* Shed before anything is created, logged or multicast: the
+         request never enters the order, so [Busy] is a pure "try
+         again" — no dedup entry, no side effect.  The callback fires
+         synchronously, within the caller's submit. *)
+      t.shed <- t.shed + 1;
+      on_response Action.Busy
+    end
+    else begin
+      t.actions_submitted <- t.actions_submitted + 1;
+      Engine.submit e ~client ~semantics ~size ~req_seq ~req_ack ~kind
+        ~on_created:(fun id -> Hashtbl.replace t.pending id on_response)
+        ()
+    end
 
 let weak_query t keys = Database.read t.db keys
 
@@ -538,8 +642,18 @@ let dirty_db t =
     | _ ->
       let copy = Database.copy t.db in
       List.iter
-        (fun a ->
-          ignore (Executor.execute ?on_procedure:t.proc_hook ~procs:t.procs copy a))
+        (fun (a : Action.t) ->
+          (* Red copies of already-green requests must not double-apply
+             even in the dirty view; read-only check, no recording (the
+             dedup table only advances on the green path). *)
+          if
+            not
+              (Dedup.is_applied t.dedup ~client:a.Action.client
+                 ~seq:a.Action.req_seq)
+          then
+            ignore
+              (Executor.execute ?on_procedure:t.proc_hook ~procs:t.procs copy
+                 a))
         (Engine.red_actions e);
       t.dirty_cache <- Some (fst key, snd key, copy);
       copy)
@@ -567,6 +681,7 @@ let crash t =
     t.query_waiters <- [];
     Hashtbl.reset t.transfer_sessions;
     t.db <- Database.create ();
+    t.dedup <- Dedup.create ~window:t.dedup_window ();
     t.dirty_cache <- None;
     t.engine <- None
   end
@@ -622,22 +737,23 @@ let recover t =
       t.amnesia_floor <- max t.amnesia_floor r.Persist.r_action_index;
       amnesiac_rejoin t
     | Persist.V_clean | Persist.V_torn_tail _ | Persist.V_salvaged _ ->
-      let e, snapshot, greens =
+      let e, ckpt, greens =
         Engine.recover ~weights:t.weights ?submit_delay:t.submit_delay
           ~recovered:r ~sim:t.cluster.c_sim ~node:t.node_id ~servers:t.servers
           ~persist:t.persist ~callbacks:(make_callbacks t) ()
       in
-      (* Rebuild the database: restore the latest durable checkpoint, then
-         replay the green actions logged after it. *)
-      t.db <-
-        (match snapshot with
-        | Some s -> Database.of_snapshot s
-        | None -> Database.create ());
-      List.iter
-        (fun a ->
-          ignore
-            (Executor.execute ?on_procedure:t.proc_hook ~procs:t.procs t.db a))
-        greens;
+      (* Rebuild the database and the exactly-once window from the
+         latest durable checkpoint (they were captured at the same
+         green position), then replay the green actions logged after it
+         through the same dedup-aware path as live application. *)
+      (match ckpt with
+      | Some c ->
+        t.db <- Database.of_snapshot c.Persist.c_snapshot;
+        t.dedup <- Dedup.of_snapshot c.Persist.c_dedup
+      | None ->
+        t.db <- Database.create ();
+        t.dedup <- Dedup.create ~window:t.dedup_window ());
+      List.iter (fun a -> ignore (execute_green t a)) greens;
       t.greens_applied <- t.greens_applied + List.length greens;
       adopt_engine t e;
       let rejoin () =

@@ -27,6 +27,18 @@ val cluster_topology : cluster -> Topology.t
 
 type t
 
+(** Admission control: a local backpressure gate on {!submit}.  When
+    either backlog threshold is crossed, the submission is answered
+    [Action.Busy] synchronously — nothing is created, logged or
+    ordered — and the client is expected to back off and retry.  This
+    is what turns the open-loop overload curve from collapse into a
+    goodput plateau. *)
+type admission = {
+  adm_max_inflight : int;
+      (** own strict submissions still awaiting their green response *)
+  adm_max_red : int;  (** ordered-but-not-yet-green backlog bound *)
+}
+
 val create :
   ?disk_config:Disk.config ->
   ?attach_cpu:bool ->
@@ -34,6 +46,8 @@ val create :
   ?weights:Quorum.weights ->
   ?quorum_policy:Quorum.policy ->
   ?submit_delay:Repro_sim.Time.t ->
+  ?dedup_window:int ->
+  ?admission:admission ->
   cluster:cluster ->
   node:Node_id.t ->
   servers:Node_id.t list ->
@@ -46,13 +60,17 @@ val create :
     white-action garbage collection — every that many applied actions;
     [None] disables checkpointing.  [submit_delay] enables end-to-end
     submission batching (see {!Engine.create}); it survives crash
-    recovery and joiner instantiation. *)
+    recovery and joiner instantiation.  [dedup_window] (default 8)
+    bounds the per-client exactly-once response cache (see {!Dedup});
+    [admission] (default none) enables overload shedding. *)
 
 val create_joiner :
   ?disk_config:Disk.config ->
   ?attach_cpu:bool ->
   ?checkpoint_every:int option ->
   ?submit_delay:Repro_sim.Time.t ->
+  ?dedup_window:int ->
+  ?admission:admission ->
   ?retry_interval:Repro_sim.Time.t ->
   cluster:cluster ->
   node:Node_id.t ->
@@ -106,12 +124,23 @@ val submit :
   ?client:int ->
   ?semantics:Action.semantics ->
   ?size:int ->
+  ?req_seq:int ->
+  ?req_ack:int ->
   Action.kind ->
   on_response:(Action.response -> unit) ->
   unit
 (** Submits a transaction.  Strict semantics answer when the action turns
     green at this replica; [Commutative] answers at first local (red)
-    application — paper §6. *)
+    application — paper §6.
+
+    [req_seq]/[req_ack] (both default 0 = no tracking) stamp the durable
+    per-client request id: a retry of an already-applied [(client,
+    req_seq)] is answered from the replicated dedup cache instead of
+    re-executing — see {!Dedup} and the client contract there.
+
+    When {!admission} control is configured and a backlog threshold is
+    crossed, [on_response] fires synchronously with [Action.Busy] and
+    nothing enters the order. *)
 
 val weak_query : t -> string list -> (string * Value.t option) list
 (** Immediate answer from the consistent-but-possibly-stale green state. *)
@@ -140,6 +169,10 @@ val log_entries : t -> int
 val log_flushes : t -> int
 (** Physical flushes the stable storage performed so far (measures the
     forced-write and group-commit cost of a run, survives crashes). *)
+
+val cpu_stats : t -> (int * Repro_sim.Time.t) option
+(** Attached-CPU pressure: (jobs queued or running, cumulative busy
+    time).  [None] when the replica runs without a CPU resource. *)
 
 (* --- Failure injection --------------------------------------------- *)
 
@@ -181,6 +214,26 @@ val set_audit : t -> (Engine.audit_event -> unit) -> unit
 
 val greens_applied : t -> int
 val actions_submitted : t -> int
+
+val dupes_suppressed : t -> int
+(** Retried-but-already-applied requests answered from the dedup cache
+    instead of re-executing (recovery replay included).  Survives
+    crashes, like [actions_submitted]. *)
+
+val shed : t -> int
+(** Submissions answered [Busy] by admission control.  Survives crashes. *)
+
+val dedup_window : t -> int
+
+val dedup_max_cached : t -> int
+(** Largest per-client cached-response list currently held — bounded by
+    [dedup_window] (the replicated-state-growth property tests assert
+    this). *)
+
+val dedup_summary : t -> (int * int * int) list
+(** [(client, highest applied req_seq, acked)] triples in client order:
+    the convergence-relevant view of the exactly-once window.  Equal on
+    every replica at the same green position. *)
 
 val transfer_chunks_sent : t -> int
 (** State-transfer chunks this replica served as a representative

@@ -33,7 +33,9 @@ let rec pump t =
           t.in_flight <- false;
           t.completed <- t.completed + 1;
           (match response with
-          | Action.Aborted -> t.aborted <- t.aborted + 1
+          (* Busy terminates the op for this single-replica session;
+             failover-with-retry lives in Repro_harness.Client. *)
+          | Action.Aborted | Action.Busy -> t.aborted <- t.aborted + 1
           | Action.Committed _ | Action.Procedure_output _ -> ());
           k response;
           pump t)

@@ -32,16 +32,28 @@ type t = {
   semantics : semantics;
   green_line : Id.t option;
   size : int;
+  req_seq : int;
+  req_ack : int;
 }
 
 let make ?(client = 0) ?(semantics = Strict) ?(green_line = None) ?(size = 200)
-    ~server ~index kind =
-  { id = { Id.server; index }; client; kind; semantics; green_line; size }
+    ?(req_seq = 0) ?(req_ack = 0) ~server ~index kind =
+  {
+    id = { Id.server; index };
+    client;
+    kind;
+    semantics;
+    green_line;
+    size;
+    req_seq;
+    req_ack;
+  }
 
 type response =
   | Committed of (string * Value.t option) list
   | Procedure_output of Value.t
   | Aborted
+  | Busy
 
 let pp_kind ppf = function
   | Query keys -> Format.fprintf ppf "query[%s]" (String.concat "," keys)
@@ -60,3 +72,4 @@ let pp_response ppf = function
     Format.fprintf ppf "committed[%d]" (List.length results)
   | Procedure_output v -> Format.fprintf ppf "output[%a]" Value.pp v
   | Aborted -> Format.fprintf ppf "aborted"
+  | Busy -> Format.fprintf ppf "busy"

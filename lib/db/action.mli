@@ -49,6 +49,18 @@ type t = {
   green_line : Id.t option;
       (** last action the creator knew green at creation time *)
   size : int;  (** wire size in bytes (the paper uses 200-byte actions) *)
+  req_seq : int;
+      (** durable per-client request sequence number, [> 0] when the
+          client wants exactly-once semantics across retries; 0 opts
+          out of deduplication.  The pair [(client, req_seq)] is the
+          request id: a retry carries the same pair, and the green
+          apply path suppresses re-execution of an already-applied
+          sequence number, answering from the dedup cache instead. *)
+  req_ack : int;
+      (** the client-acked low-water mark: the highest [req_seq] for
+          which this client has already received a response.  Bounds
+          the replicated dedup cache — responses at or below it can
+          never be re-requested and are evicted. *)
 }
 
 val make :
@@ -56,11 +68,14 @@ val make :
   ?semantics:semantics ->
   ?green_line:Id.t option ->
   ?size:int ->
+  ?req_seq:int ->
+  ?req_ack:int ->
   server:Node_id.t ->
   index:int ->
   kind ->
   t
-(** [size] defaults to 200 bytes. *)
+(** [size] defaults to 200 bytes; [req_seq]/[req_ack] default to 0
+    (no exactly-once tracking). *)
 
 (** The outcome reported to the client. *)
 type response =
@@ -68,6 +83,10 @@ type response =
       (** query results (empty for pure updates) *)
   | Procedure_output of Value.t
   | Aborted  (** interactive validation failed *)
+  | Busy
+      (** admission control shed the request before it entered the
+          global order: nothing was executed or logged.  The client
+          should back off and retry. *)
 
 val pp : Format.formatter -> t -> unit
 val pp_response : Format.formatter -> response -> unit

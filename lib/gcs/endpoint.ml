@@ -66,6 +66,7 @@ type 'p conf_state = {
   mutable have_upto : int; (* contiguous prefix present in [store] *)
   mutable delivered_upto : int; (* contiguous prefix delivered to the app *)
   mutable safe_upto : int; (* prefix acked by every member *)
+  mutable last_acked : int; (* have_upto as of the last ack we multicast *)
   acks : (Node_id.t, int) Hashtbl.t;
   mutable max_safe_seq : int; (* highest stored safe-service sequence *)
   (* sequencer-only: *)
@@ -217,6 +218,7 @@ let new_conf_state view =
     have_upto = 0;
     delivered_upto = 0;
     safe_upto = 0;
+    last_acked = 0;
     acks = Hashtbl.create 8;
     max_safe_seq = 0;
     next_seq = 0;
@@ -296,11 +298,18 @@ let rec note_have_advanced t cs =
   evict t cs;
   if not cs.ack_armed then begin
     cs.ack_armed <- true;
-    (* Acknowledge promptly while safe-service messages wait for
-       stability; otherwise only at a slow housekeeping cadence (the
-       acks then serve eviction, not latency). *)
+    (* Acknowledge promptly when our cumulative ack carries NEWS —
+       receipt progress peers have not been told about while
+       safe-service messages wait for stability.  When we are merely
+       waiting on other members' acks, re-announcing the same
+       [have_upto] advances nobody: fall back to a slow housekeeping
+       cadence (loss recovery and eviction).  A fast timer here is a
+       multicast busy-wait — under a CPU model it congests every
+       receive queue and the stability it polls for recedes, a
+       self-sustaining collapse no admission control above can stop. *)
     let delay =
-      if cs.max_safe_seq > cs.safe_upto then t.prm.ack_delay
+      if cs.max_safe_seq > cs.safe_upto && cs.have_upto > cs.last_acked then
+        t.prm.ack_delay
       else Time.scale t.prm.ack_delay 25.
     in
     let era = t.era in
@@ -308,6 +317,7 @@ let rec note_have_advanced t cs =
       (Engine.schedule t.engine ~delay (fun () ->
            if era = t.era then begin
              cs.ack_armed <- false;
+             cs.last_acked <- cs.have_upto;
              multicast_set t ~dsts:cs.cview.members
                (Ack { a_conf = cs.cview.id; a_upto = cs.have_upto });
              (* Re-arm if safety progress is still pending. *)

@@ -1,0 +1,92 @@
+open Repro_db
+open Repro_core
+
+(** A cluster-aware, failure-aware client session.
+
+    Unlike {!Repro_core.Session} (wired to one replica forever, the
+    paper's §2 client model), this session holds the whole cluster:
+    it detects a dead, partitioned or lagging target by a per-attempt
+    deadline, fails over to the next live ready replica (round-robin),
+    and retries with capped exponential backoff + full jitter drawn
+    from the sim RNG — deterministic per seed.
+
+    Exactly-once across all of that comes from durable request ids:
+    every attempt of the session's [seq] carries the same
+    [(client id, seq)] pair, the replica-side dedup window
+    ({!Repro_core.Dedup}) lets at most one attempt execute, and every
+    attempt returns the same replicated response — so the first
+    response to arrive completes the seq, whichever attempt produced
+    it.  [Busy] (admission-control shedding) is honored by backing off
+    on the same target without rotating.
+
+    FIFO with one outstanding request, like [Session] — which is also
+    what makes the dedup window's [seq <= highest] duplicate test
+    sound. *)
+
+type t
+
+type config = {
+  request_timeout : Repro_sim.Time.t;
+      (** per-attempt deadline before failover (default 400 ms) *)
+  backoff_base : Repro_sim.Time.t;  (** default 20 ms *)
+  backoff_cap : Repro_sim.Time.t;  (** default 2 s *)
+}
+
+val default_config : config
+
+val create :
+  ?config:config ->
+  sim:Repro_sim.Engine.t ->
+  id:int ->
+  replicas:(unit -> Replica.t list) ->
+  unit ->
+  t
+(** [id] must be positive and unique per client (it keys the replicated
+    dedup state).  [replicas] is consulted at every attempt, so worlds
+    that add joiners are picked up live. *)
+
+val exec :
+  t ->
+  ?semantics:Action.semantics ->
+  ?size:int ->
+  Action.kind ->
+  k:(Action.response -> unit) ->
+  unit
+(** Enqueue one operation; [k] fires exactly once, with the replicated
+    response, after however many retries and failovers it took. *)
+
+val read :
+  t -> string list -> k:((string * Value.t option) list -> unit) -> unit
+(** An ordered read carrying its own request id (NOT the §6 local-query
+    optimisation: after failover, only ordering the read guarantees
+    read-your-writes on the new target). *)
+
+val stop : t -> unit
+(** Cease issuing and retrying; pending timers become no-ops. *)
+
+(* --- Observation ---------------------------------------------------- *)
+
+val id : t -> int
+
+val issued : t -> int
+(** Sequence numbers issued so far ([= seq] of the newest request). *)
+
+val acked : t -> int
+(** Highest sequence number with a received response.  The exactly-once
+    ledger invariant: [acked <= applied count <= issued] on every
+    replica, where at most [issued - acked <= 1]. *)
+
+val outstanding : t -> int
+val completed : t -> int
+val aborted : t -> int
+
+val retries : t -> int
+(** Re-attempts (timeout- or Busy-triggered) beyond each seq's first. *)
+
+val failovers : t -> int
+(** Deadline expiries that rotated the session to another replica. *)
+
+val busy_responses : t -> int
+(** [Busy] sheds received (each also counts as a retry). *)
+
+val timeouts : t -> int

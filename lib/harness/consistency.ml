@@ -146,6 +146,10 @@ let check_convergence replicas =
   | (r0, e0) :: rest ->
     let count0 = Engine.green_count e0 in
     let digest0 = Database.digest (Replica.database r0) in
+    let dedup0 = Replica.dedup_summary r0 in
+    let summaries_equal =
+      List.equal (fun (c, h, a) (c', h', a') -> c = c' && h = h' && a = a')
+    in
     List.concat_map
       (fun (r, e) ->
         let issues = ref [] in
@@ -159,8 +163,56 @@ let check_convergence replicas =
             violation "convergence" "replica %d database differs from replica %d"
               (Replica.node r) (Replica.node r0)
             :: !issues;
+        (* The exactly-once window is replicated state too: replicas at
+           the same green position must agree on every client's highest
+           applied and acked sequence numbers. *)
+        if not (summaries_equal (Replica.dedup_summary r) dedup0) then
+          issues :=
+            violation "convergence"
+              "replica %d exactly-once window differs from replica %d"
+              (Replica.node r) (Replica.node r0)
+            :: !issues;
         !issues)
       rest
+
+(* ------------------------------------------------------------------ *)
+(* The client-visible exactly-once oracle                              *)
+
+(* One client's view of its own counter-increment stream: [l_key] is a
+   key only this client writes, each acknowledged request added exactly
+   1 to it, so on every converged replica
+   [l_acked <= value(l_key) <= l_issued] — a value below the acks means
+   an acknowledged increment was lost; above the issues means some
+   retry was applied twice. *)
+type ledger = { l_client : int; l_key : string; l_issued : int; l_acked : int }
+
+let check_exactly_once ~ledgers replicas =
+  let ready = List.filter Replica.is_ready replicas in
+  List.concat_map
+    (fun r ->
+      List.filter_map
+        (fun l ->
+          let v =
+            match Database.get (Replica.database r) l.l_key with
+            | Some (Value.Int n) -> n
+            | Some _ -> min_int (* wrong type: flag as lost *)
+            | None -> 0
+          in
+          if v < l.l_acked then
+            Some
+              (violation "exactly-once"
+                 "lost ack: client %d acked %d increments of %s but replica \
+                  %d holds %d"
+                 l.l_client l.l_acked l.l_key (Replica.node r) v)
+          else if v > l.l_issued then
+            Some
+              (violation "exactly-once"
+                 "double-apply: client %d issued %d increments of %s but \
+                  replica %d holds %d"
+                 l.l_client l.l_issued l.l_key (Replica.node r) v)
+          else None)
+        ledgers)
+    ready
 
 let check_all ?(converged = false) replicas =
   check_global_total_order replicas

@@ -33,7 +33,23 @@ val check_single_primary : Replica.t list -> violation list
 
 val check_convergence : Replica.t list -> violation list
 (** After healing and quiescence (liveness, Theorem 3): all ready
-    replicas have equal green counts and equal database digests. *)
+    replicas have equal green counts, equal database digests and equal
+    exactly-once windows ({!Replica.dedup_summary}). *)
+
+type ledger = {
+  l_client : int;
+  l_key : string;
+  l_issued : int;  (** sequence numbers the client issued *)
+  l_acked : int;  (** sequence numbers the client saw responses for *)
+}
+(** One client's exactly-once ledger over a private counter key that
+    each of its requests incremented by exactly 1. *)
+
+val check_exactly_once : ledgers:ledger list -> Replica.t list -> violation list
+(** The client-visible end-to-end guarantee: on every ready replica and
+    for every ledger, [l_acked <= value(l_key) <= l_issued].  Below the
+    acks means an acknowledged request was lost; above the issues means
+    a retry was applied more than once. *)
 
 val check_all : ?converged:bool -> Replica.t list -> violation list
 (** Every safety check; [converged] (default false) adds the liveness

@@ -348,7 +348,7 @@ let ablation_query_path ?(clients = 8) ?(read_fraction = 0.8)
         optimized_reads = optimized;
       }
     in
-    let w = Workload.closed_loop ~sim ~mix ~clients ~replicas in
+    let w = Workload.closed_loop ~sim ~mix ~clients ~replicas () in
     Sim.Engine.run ~until:(Time.of_sec 3.) sim;
     Workload.start_measuring w;
     Sim.Engine.run ~until:(Time.add (Time.of_sec 3.) ~span:duration) sim;

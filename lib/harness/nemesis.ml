@@ -2,6 +2,8 @@ module Sim = Repro_sim
 module Monitor = Repro_check.Monitor
 module Procguard = Repro_check.Procguard
 module Value = Repro_db.Value
+module Op = Repro_db.Op
+module Action = Repro_db.Action
 open Repro_net
 open Repro_storage
 open Repro_core
@@ -12,6 +14,7 @@ open Repro_core
 type config = {
   seed : int;
   nodes : int;
+  clients : int;
   active_ms : float;
   settle_ms : float;
   faults : Disk.fault_config;
@@ -22,6 +25,7 @@ let default_config =
   {
     seed = 1;
     nodes = 5;
+    clients = 4;
     active_ms = 4_000.;
     settle_ms = 30_000.;
     faults =
@@ -33,6 +37,11 @@ let default_config =
       };
     checkpoint_every = Some 40;
   }
+
+(* Admission thresholds for the campaign's replicas: tight enough that
+   retry storms into a struggling replica shed, loose enough that the
+   steady state never sheds. *)
+let campaign_admission = { Replica.adm_max_inflight = 32; adm_max_red = 128 }
 
 type outcome = {
   o_steps : int;
@@ -50,6 +59,11 @@ type outcome = {
   o_greens : int;
   o_sweeps : int;
   o_procs : int;
+  o_client_acked : int;
+  o_retries : int;
+  o_failovers : int;
+  o_dupes_suppressed : int;
+  o_shed : int;
   o_violations : string list;
 }
 
@@ -67,9 +81,13 @@ let pp_outcome ppf o =
      greens       %6d@,\
      sweeps       %6d@,\
      procedures   %6d  (footprint-checked)@,\
+     client acks  %6d  (retries %d, failovers %d)@,\
+     dedup hits   %6d  (duplicate attempts answered from the window)@,\
+     shed         %6d  (admission-control Busy)@,\
      verdict      %s@]" o.o_steps o.o_submitted o.o_crashes o.o_recoveries
     o.o_clean o.o_torn o.o_salvaged o.o_amnesia o.o_corruptions o.o_partitions
-    o.o_heals o.o_ready o.o_greens o.o_sweeps o.o_procs
+    o.o_heals o.o_ready o.o_greens o.o_sweeps o.o_procs o.o_client_acked
+    o.o_retries o.o_failovers o.o_dupes_suppressed o.o_shed
     (if converged o then "CONVERGED"
      else
        Printf.sprintf "FAILED (%d violations)" (List.length o.o_violations));
@@ -93,6 +111,8 @@ type tally = {
   mutable t_amnesia : int;
   mutable t_value : int;
 }
+
+let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l
 
 (* Recover one replica and book the storage verdict it reports. *)
 let recover_and_tally tally r =
@@ -118,9 +138,30 @@ let run ?(config = default_config) () =
   in
   let w =
     World.make ~disk_config ~checkpoint_every:cfg.checkpoint_every
-      ~seed:cfg.seed ~n:cfg.nodes ()
+      ~admission:campaign_admission ~seed:cfg.seed ~n:cfg.nodes ()
   in
   let monitor = World.attach_monitor w in
+  (* The client-visible oracle: [clients] failover sessions, each
+     incrementing a private counter key "cc<id>" once per acknowledged
+     request.  At the end, every converged replica must hold
+     acked <= cc<id> <= issued — an acknowledged increment below the
+     range was lost, one above it was applied twice (a retry that beat
+     the dedup window).  Sessions retry and fail over on their own;
+     the campaign only pumps the next request after each ack. *)
+  let sessions =
+    List.init cfg.clients (fun i ->
+        Client.create ~sim:(World.sim w) ~id:(i + 1)
+          ~replicas:(fun () -> World.replicas w)
+          ())
+  in
+  let issuing = ref true in
+  let rec pump c =
+    if !issuing then
+      Client.exec c
+        (Action.Update [ Op.Add (Printf.sprintf "cc%d" (Client.id c), 1) ])
+        ~k:(fun _ -> pump c)
+  in
+  List.iter pump sessions;
   (* Runtime footprint validation (paper §6): every executed stored
      procedure — on every replica, recovery replay included — has its
      actual key accesses checked against the declared footprint. *)
@@ -250,6 +291,9 @@ let run ?(config = default_config) () =
     World.run w ~ms:(float_of_int (20 + Sim.Rng.int rng 180))
   done;
   (* --- heal, recover everyone, settle ----------------------------- *)
+  (* Stop issuing new client requests; each session still drives its
+     outstanding one (retries included) to completion during settle. *)
+  issuing := false;
   Topology.merge_all (World.topology w);
   List.iter (recover_and_tally tally) (down ());
   let all_ready () = List.for_all Replica.is_ready (World.replicas w) in
@@ -269,10 +313,22 @@ let run ?(config = default_config) () =
       (fun v -> Format.asprintf "%a" Repro_check.Snapshot.pp_violation v)
       (Monitor.violations monitor)
   in
+  let ledgers =
+    List.map
+      (fun c ->
+        {
+          Consistency.l_client = Client.id c;
+          l_key = Printf.sprintf "cc%d" (Client.id c);
+          l_issued = Client.issued c;
+          l_acked = Client.acked c;
+        })
+      sessions
+  in
   let consistency_violations =
     List.map
       (fun v -> Format.asprintf "%a" Consistency.pp_violation v)
-      (Consistency.check_all ~converged:true (World.replicas w))
+      (Consistency.check_all ~converged:true (World.replicas w)
+      @ Consistency.check_exactly_once ~ledgers (World.replicas w))
   in
   let guard_violations =
     List.map
@@ -313,6 +369,11 @@ let run ?(config = default_config) () =
     o_greens = greens;
     o_sweeps = Monitor.observations monitor;
     o_procs = Procguard.checked guard;
+    o_client_acked = sum (fun c -> Client.acked c) sessions;
+    o_retries = sum Client.retries sessions;
+    o_failovers = sum Client.failovers sessions;
+    o_dupes_suppressed = sum Replica.dupes_suppressed (World.replicas w);
+    o_shed = sum Replica.shed (World.replicas w);
     o_violations =
       monitor_violations @ consistency_violations @ guard_violations
       @ stragglers;

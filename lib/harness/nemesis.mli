@@ -15,16 +15,27 @@ open Repro_storage
     component to converge in — what the run asserts is {e safety and
     convergence under faults}, not behaviour without a quorum.
 
+    Alongside the fire-and-forget traffic, the campaign drives a set of
+    {!Client} failover sessions, each incrementing a private counter
+    key once per acknowledged request — the client-visible exactly-once
+    oracle.  Replicas run with admission control enabled, so retry
+    storms can be answered [Busy] and the shedding path is exercised
+    under the same fault schedule.
+
     After the active phase it heals every partition, recovers every
     crashed replica (tallying each recovery's {!Repro_core.Persist}
-    verdict), lets the cluster settle, and evaluates both checkers:
+    verdict), lets the cluster settle, and evaluates the checkers:
     the global {!Consistency} catalogue with the convergence (liveness)
-    check enabled, and a final sweep of the online repcheck
-    {!Repro_check.Monitor} that observed the whole run. *)
+    check enabled, the {!Consistency.check_exactly_once} ledger over
+    the client counters (no lost acks, no double-applies), and a final
+    sweep of the online repcheck {!Repro_check.Monitor} that observed
+    the whole run. *)
 
 type config = {
   seed : int;
   nodes : int;  (** replicas on nodes [0..nodes-1] *)
+  clients : int;
+      (** failover {!Client} sessions driving the exactly-once oracle *)
   active_ms : float;  (** duration of the fault-injection phase *)
   settle_ms : float;  (** budget for the final heal-and-settle phase *)
   faults : Disk.fault_config;  (** fault model of every replica's disk *)
@@ -32,10 +43,11 @@ type config = {
 }
 
 val default_config : config
-(** 5 nodes, 4 s active phase, 30 s settle budget, moderate fault
-    probabilities (torn tails likely, occasional crash-time corruption
-    and transient read errors), checkpoint every 40 applied actions so
-    salvage-vs-amnesia decisions meet real checkpoints. *)
+(** 5 nodes, 4 client sessions, 4 s active phase, 30 s settle budget,
+    moderate fault probabilities (torn tails likely, occasional
+    crash-time corruption and transient read errors), checkpoint every
+    40 applied actions so salvage-vs-amnesia decisions meet real
+    checkpoints. *)
 
 type outcome = {
   o_steps : int;  (** schedule steps executed *)
@@ -55,9 +67,17 @@ type outcome = {
   o_procs : int;
       (** stored-procedure executions whose actual key accesses were
           validated against a declared footprint ({!Repro_check.Procguard}) *)
+  o_client_acked : int;
+      (** acknowledged oracle requests, summed over client sessions *)
+  o_retries : int;  (** client re-attempts (timeout- or Busy-triggered) *)
+  o_failovers : int;  (** client deadline expiries that rotated targets *)
+  o_dupes_suppressed : int;
+      (** retried attempts answered from a replica's exactly-once window
+          instead of re-executing *)
+  o_shed : int;  (** requests refused [Busy] by admission control *)
   o_violations : string list;
-      (** rendered monitor + consistency + footprint-guard violations;
-          empty on a pass *)
+      (** rendered monitor + consistency + exactly-once ledger +
+          footprint-guard violations; empty on a pass *)
 }
 
 val converged : outcome -> bool

@@ -30,17 +30,37 @@ val default_mix : mix
 type t
 
 val closed_loop :
-  sim:Repro_sim.Engine.t -> mix:mix -> clients:int -> replicas:Replica.t list -> t
-(** Starts [clients] closed-loop clients round-robin over the replicas. *)
+  ?deadline:Time.t ->
+  ?busy_retries:int ->
+  ?retry_backoff:Time.t ->
+  sim:Repro_sim.Engine.t ->
+  mix:mix ->
+  clients:int ->
+  replicas:Replica.t list ->
+  unit ->
+  t
+(** Starts [clients] closed-loop clients round-robin over the replicas.
+
+    [deadline] marks a completion as {i good} only when its latency is
+    within it (goodput accounting; default: every completion is good).
+    [busy_retries] (default 3) bounds re-submissions after an admission
+    [Busy], spaced by jittered exponential backoff from [retry_backoff]
+    (default 10 ms); past the budget the request is dropped and counted
+    as {!shed}. *)
 
 val open_loop :
+  ?deadline:Time.t ->
+  ?busy_retries:int ->
+  ?retry_backoff:Time.t ->
   sim:Repro_sim.Engine.t ->
   mix:mix ->
   rate_per_sec:float ->
   replicas:Replica.t list ->
+  unit ->
   t
 (** Starts a Poisson arrival process at [rate_per_sec], submissions
-    spread round-robin over the replicas.  Runs until [stop]. *)
+    spread round-robin over the replicas.  Runs until [stop].  Optional
+    arguments as in {!closed_loop}. *)
 
 val start_measuring : t -> unit
 (** Resets counters; subsequent completions are recorded. *)
@@ -49,5 +69,18 @@ val stop : t -> unit
 (** Stops issuing new operations (outstanding ones still complete). *)
 
 val completed : t -> int
+
+val completed_in_deadline : t -> int
+(** Completions within [deadline] ([= completed] when no deadline). *)
+
+val shed : t -> int
+(** Requests dropped after exhausting the Busy-retry budget. *)
+
+val busy_retried : t -> int
+(** Re-submissions performed after receiving [Busy]. *)
+
 val latencies_ms : t -> Stats.Summary.t
 val throughput : t -> over:Time.t -> float
+
+val goodput : t -> over:Time.t -> float
+(** In-deadline completions per second over the window. *)

@@ -150,7 +150,7 @@ let test_workload_closed_loop_counts () =
   let sim = World.sim w in
   let wl =
     Workload.closed_loop ~sim ~mix:Workload.default_mix ~clients:3
-      ~replicas:(World.replicas w)
+      ~replicas:(World.replicas w) ()
   in
   World.run w ~ms:500.;
   Workload.start_measuring wl;
@@ -170,7 +170,7 @@ let test_workload_open_loop_rate () =
   let sim = World.sim w in
   let wl =
     Workload.open_loop ~sim ~mix:Workload.default_mix ~rate_per_sec:200.
-      ~replicas:(World.replicas w)
+      ~replicas:(World.replicas w) ()
   in
   World.run w ~ms:500.;
   Workload.start_measuring wl;
@@ -188,7 +188,7 @@ let test_workload_mixed_reads () =
   let mix =
     { Workload.default_mix with read_fraction = 0.5; optimized_reads = true }
   in
-  let wl = Workload.closed_loop ~sim ~mix ~clients:4 ~replicas:(World.replicas w) in
+  let wl = Workload.closed_loop ~sim ~mix ~clients:4 ~replicas:(World.replicas w) () in
   Workload.start_measuring wl;
   World.run w ~ms:2000.;
   Alcotest.(check bool) "mixed workload progresses" true

@@ -209,12 +209,13 @@ let test_delayed_mode_lost_ack_window () =
   Repro_check.Monitor.check_now monitor;
   Repro_check.Monitor.assert_ok monitor
 
-(* The pinned campaign the dune @nemesis-smoke alias also runs: seed 61
-   exercises every recovery verdict in one schedule and must converge
-   with both checkers silent. *)
-let test_nemesis_campaign_seed61 () =
+(* The pinned campaign the dune @nemesis-smoke alias also runs: seed 42
+   exercises every recovery verdict in one schedule — including a
+   failover onto an amnesiac §5.1 rejoiner — and must converge with
+   both checkers silent and the client oracle clean. *)
+let test_nemesis_campaign_seed42 () =
   let config =
-    { Nemesis.default_config with seed = 61; active_ms = 3_000. }
+    { Nemesis.default_config with seed = 42; active_ms = 3_000. }
   in
   let o = Nemesis.run ~config () in
   Alcotest.(check (list string)) "no checker violations" [] o.Nemesis.o_violations;
@@ -227,7 +228,11 @@ let test_nemesis_campaign_seed61 () =
   Alcotest.(check bool) "clean recovery exercised" true (o.Nemesis.o_clean >= 1);
   Alcotest.(check bool) "torn tail exercised" true (o.Nemesis.o_torn >= 1);
   Alcotest.(check bool) "salvage exercised" true (o.Nemesis.o_salvaged >= 1);
-  Alcotest.(check bool) "amnesia exercised" true (o.Nemesis.o_amnesia >= 1)
+  Alcotest.(check bool) "amnesia exercised" true (o.Nemesis.o_amnesia >= 1);
+  Alcotest.(check bool) "client failover exercised" true
+    (o.Nemesis.o_failovers >= 1);
+  Alcotest.(check bool) "retried requests deduplicated" true
+    (o.Nemesis.o_dupes_suppressed >= 1)
 
 (* Determinism: the same seed must reproduce the same campaign. *)
 let test_nemesis_deterministic () =
@@ -259,8 +264,8 @@ let () =
         ] );
       ( "campaign",
         [
-          Alcotest.test_case "pinned seed 61 covers all verdicts" `Quick
-            test_nemesis_campaign_seed61;
+          Alcotest.test_case "pinned seed 42 covers all verdicts" `Quick
+            test_nemesis_campaign_seed42;
           Alcotest.test_case "seeded campaign is deterministic" `Quick
             test_nemesis_deterministic;
         ] );
