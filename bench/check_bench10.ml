@@ -1,0 +1,122 @@
+(* runtest guard over the committed BENCH_10.json (regenerated with
+   `dune exec bench/main.exe -- bench10 > BENCH_10.json`): re-parse the
+   hot-path microbenchmark report and re-assert, from the recorded
+   numbers, that the exchange and event-step reworks actually paid off
+   at 200 members — the counting-table knowledge exchange beats the
+   naive list intersection by at least 2x, and the int-keyed heap beats
+   the closure-comparator heap outright.  Same deliberately small
+   scanner as check_bench6: flat machine-written JSON, no JSON
+   library. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("BENCH_10 guard: " ^ s);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let is_num_char c =
+  (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E'
+
+(* Position just after ["key"] followed by a colon, searching from
+   [from]. *)
+let after_key_opt s ~from key =
+  let needle = "\"" ^ key ^ "\"" in
+  let nlen = String.length needle and len = String.length s in
+  let rec find i =
+    if i + nlen > len then None
+    else if String.sub s i nlen = needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  match find from with
+  | None -> None
+  | Some i ->
+    let rec colon i =
+      if i >= len then fail "no colon after key %S" key
+      else
+        match s.[i] with
+        | ':' -> Some (i + 1)
+        | ' ' | '\n' | '\t' -> colon (i + 1)
+        | c -> fail "unexpected %C after key %S" c key
+    in
+    colon i
+
+let after_key s ~from key =
+  match after_key_opt s ~from key with
+  | Some i -> i
+  | None -> fail "missing key %S" key
+
+let skip_ws s i =
+  let len = String.length s in
+  let rec go i =
+    if i < len && (s.[i] = ' ' || s.[i] = '\n' || s.[i] = '\t') then go (i + 1)
+    else i
+  in
+  go i
+
+let number_at s i =
+  let i = skip_ws s i in
+  let len = String.length s in
+  let j = ref i in
+  while !j < len && is_num_char s.[!j] do
+    incr j
+  done;
+  if !j = i then fail "expected a number at offset %d" i;
+  float_of_string (String.sub s i (!j - i))
+
+let float_field s ~from key = number_at s (after_key s ~from key)
+
+let bool_field s ~from key =
+  let i = skip_ws s (after_key s ~from key) in
+  if String.length s - i >= 4 && String.sub s i 4 = "true" then true
+  else if String.length s - i >= 5 && String.sub s i 5 = "false" then false
+  else fail "expected a boolean for key %S" key
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_10.json"
+  in
+  let s = read_file path in
+  (* Every point of the membership ladder, keyed by its size. *)
+  let point n =
+    let rec find from =
+      match after_key_opt s ~from "members" with
+      | None -> fail "no point for %d members" n
+      | Some i -> if int_of_float (number_at s i) = n then i else find i
+    in
+    let i = find 0 in
+    ( float_field s ~from:i "intersect_naive_us",
+      float_field s ~from:i "exchange_us",
+      float_field s ~from:i "step_closure_heap_ns_per_op",
+      float_field s ~from:i "step_keyed_heap_ns_per_op" )
+  in
+  List.iter
+    (fun n ->
+      let naive, exch, closure, keyed = point n in
+      if naive <= 0. || exch <= 0. || closure <= 0. || keyed <= 0. then
+        fail "non-positive measurement at %d members" n)
+    [ 50; 100; 200 ];
+  (* The claims, recomputed from the recorded numbers rather than
+     trusting the recorded "speedup"/"pass" fields. *)
+  let naive, exch, closure, keyed = point 200 in
+  if exch *. 2. > naive then
+    fail "exchange rework under 2x at 200 members: %.1f us vs naive %.1f us"
+      exch naive;
+  if keyed >= closure then
+    fail "keyed heap not faster at 200 members: %.1f vs %.1f ns/op" keyed
+      closure;
+  let guard = after_key s ~from:0 "guard" in
+  if not (bool_field s ~from:guard "exchange_pass") then
+    fail "report records exchange_pass=false";
+  if not (bool_field s ~from:guard "step_pass") then
+    fail "report records step_pass=false";
+  Printf.printf
+    "BENCH_10 guard: OK (exchange %.1fx, step %.2fx at 200 members)\n"
+    (naive /. exch) (closure /. keyed)

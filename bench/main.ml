@@ -14,6 +14,7 @@ let ppf = Format.std_formatter
 let quick = Array.exists (String.equal "quick") Sys.argv
 let bench6_mode = Array.exists (String.equal "bench6") Sys.argv
 let bench9_mode = Array.exists (String.equal "bench9") Sys.argv
+let bench10_mode = Array.exists (String.equal "bench10") Sys.argv
 
 let duration = Sim.Time.of_sec (if quick then 2. else 6.)
 let clients = if quick then [ 1; 4; 8; 14 ] else [ 1; 2; 4; 6; 8; 10; 12; 14 ]
@@ -540,6 +541,177 @@ let bench9 () =
   print_string (Buffer.contents b)
 
 (* ------------------------------------------------------------------ *)
+(* `bench10` mode: emit BENCH_10.json on stdout — the two hot-path
+   microbenchmarks behind the cost-analysis PR, swept over membership
+   sizes.  "Before" is a bench-local reimplementation of the removed
+   shape (the code itself is gone from the tree):
+
+   - exchange: the old ComputeKnowledge intersected valid yellow sets
+     by folding [List.filter (List.mem ...)] across members — O(n·m²)
+     list scans.  The naive fold here times that intersection *alone*,
+     a lower bound on the old exchange cost; the after-number is the
+     full [Knowledge.compute] on the counting-table path.
+   - step: the old simulator event queue was the generic closure-
+     comparator heap over (float time, seq) pairs — every sift boxes
+     two floats and calls a closure.  The after-number is the inline
+     int-keyed [Heap.Keyed] the engine now runs on.
+
+   Regenerate the committed copy with
+
+       dune exec bench/main.exe -- bench10 > BENCH_10.json
+
+   The runtest guard (bench/check_bench10.ml) re-parses the committed
+   file and re-asserts after < before at 200 members, so the perf
+   claim of the rework can never silently drift from the artifact.    *)
+
+let bench10 () =
+  let eppf = Format.err_formatter in
+  let module Node_id = Repro_net.Node_id in
+  let module Types = Repro_core.Types in
+  let module Knowledge = Repro_core.Knowledge in
+  let module Action = Repro_db.Action in
+  let time ~reps f =
+    ignore (f ());
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps *. 1e6
+  in
+  (* Exchange-shaped state: every member advertises a yellow prefix of
+     ~n actions (all sharing the common n-prefix, so the intersection
+     has real work to do), a green count and a red cut. *)
+  let states_for n =
+    let ids = List.init n Fun.id in
+    let members = Node_id.set_of_list ids in
+    let prim = Types.initial_prim ~servers:members in
+    let yellow_ids len =
+      List.init len (fun i -> { Action.Id.server = 0; index = i + 1 })
+    in
+    let states =
+      List.fold_left
+        (fun m s ->
+          let sm =
+            {
+              Types.sm_server = s;
+              sm_conf = { Repro_gcs.Conf_id.coord = 0; counter = 1 };
+              sm_red_cut = Node_id.Map.singleton 0 (50 + (s mod 3));
+              sm_green_count = 100 + (s mod 7);
+              sm_green_line = None;
+              sm_green_floor = 0;
+              sm_attempt = s mod 4;
+              sm_prim = prim;
+              sm_vulnerable = Types.invalid_vulnerable;
+              sm_yellow =
+                { Types.y_valid = true; y_set = yellow_ids (n + (s mod 5)) };
+            }
+          in
+          Node_id.Map.add s sm m)
+        Node_id.Map.empty ids
+    in
+    (members, states)
+  in
+  (* The removed intersection shape: fold a filter-by-membership scan
+     across every member's list. *)
+  let naive_intersection states =
+    Node_id.Map.fold
+      (fun _ sm acc ->
+        let ys = sm.Types.sm_yellow.Types.y_set in
+        match acc with
+        | None -> Some ys
+        | Some cur -> Some (List.filter (fun a -> List.mem a ys) cur))
+      states None
+  in
+  (* Event-queue churn: [n] timers pending, 100k pop-reschedule ops. *)
+  let churn_ops = 100_000 in
+  let heap_before n () =
+    let cmp (a_at, a_seq) (b_at, b_seq) =
+      if Float.compare a_at b_at <> 0 then Float.compare a_at b_at
+      else Int.compare a_seq b_seq
+    in
+    let h = Sim.Heap.create ~cmp in
+    for i = 0 to n - 1 do
+      Sim.Heap.push h (float_of_int (i * 17), i)
+    done;
+    let state = ref 9 in
+    for i = 0 to churn_ops - 1 do
+      match Sim.Heap.pop h with
+      | Some (at, _) ->
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        Sim.Heap.push h (at +. float_of_int (1 + (!state mod 64)), n + i)
+      | None -> ()
+    done
+  in
+  let heap_after n () =
+    let h = Sim.Heap.Keyed.create () in
+    for i = 0 to n - 1 do
+      Sim.Heap.Keyed.push h ~key:(i * 17) ~tie:i i
+    done;
+    let state = ref 9 in
+    for i = 0 to churn_ops - 1 do
+      let at = Sim.Heap.Keyed.min_key h in
+      ignore (Sim.Heap.Keyed.pop h);
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      Sim.Heap.Keyed.push h ~key:(at + 1 + (!state mod 64)) ~tie:(n + i) (n + i)
+    done
+  in
+  let sizes = [ 50; 100; 200 ] in
+  let points =
+    List.map
+      (fun n ->
+        let members, states = states_for n in
+        let naive_us =
+          time ~reps:(max 4 (2000 / n)) (fun () -> naive_intersection states)
+        in
+        let exchange_us =
+          time ~reps:50 (fun () -> Knowledge.compute ~members states)
+        in
+        let before_ns =
+          time ~reps:5 (heap_before n) /. float_of_int churn_ops *. 1e3
+        in
+        let after_ns =
+          time ~reps:5 (heap_after n) /. float_of_int churn_ops *. 1e3
+        in
+        Format.fprintf eppf
+          "bench10: n=%3d  intersect(naive) %9.1f us  exchange(after) %9.1f \
+           us  step %7.1f -> %7.1f ns/op@."
+          n naive_us exchange_us before_ns after_ns;
+        (n, naive_us, exchange_us, before_ns, after_ns))
+      sizes
+  in
+  let at_200 =
+    List.find (fun (n, _, _, _, _) -> n = 200) points
+  in
+  let _, naive200, exch200, hb200, ha200 = at_200 in
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"bench\": \"BENCH_10\",\n";
+  add
+    "  \"paper\": \"From Total Order to Database Replication (Amir & Tutu, \
+     ICDCS 2002)\",\n";
+  add "  \"churn_ops\": %d,\n" churn_ops;
+  add "  \"points\": [\n";
+  List.iteri
+    (fun i (n, naive_us, exchange_us, before_ns, after_ns) ->
+      add
+        "    { \"members\": %d, \"intersect_naive_us\": %.2f, \
+         \"exchange_us\": %.2f, \"step_closure_heap_ns_per_op\": %.2f, \
+         \"step_keyed_heap_ns_per_op\": %.2f }%s\n"
+        n naive_us exchange_us before_ns after_ns
+        (if i = List.length points - 1 then "" else ","))
+    points;
+  add "  ],\n";
+  add "  \"guard\": {\n";
+  add "    \"exchange_speedup_at_200\": %.2f,\n" (naive200 /. exch200);
+  add "    \"step_speedup_at_200\": %.2f,\n" (hb200 /. ha200);
+  add "    \"exchange_pass\": %b,\n" (exch200 < naive200);
+  add "    \"step_pass\": %b\n" (ha200 < hb200);
+  add "  }\n";
+  add "}\n";
+  print_string (Buffer.contents b)
+
+(* ------------------------------------------------------------------ *)
 (* Micro benchmarks (bechamel): the core building blocks.              *)
 
 let microbenchmarks () =
@@ -670,6 +842,10 @@ let () =
   end;
   if bench9_mode then begin
     bench9 ();
+    exit 0
+  end;
+  if bench10_mode then begin
+    bench10 ();
     exit 0
   end;
   Format.fprintf ppf

@@ -50,7 +50,7 @@ let usage () =
   prerr_endline
     "usage: lint.exe [--core PREFIX]... [--entry PREFIX]...\n\
     \                [--globals] [--races] [--race-root NAME]...\n\
-    \                [--procedures] [--manifest FILE]\n\
+    \                [--cost] [--procedures] [--manifest FILE]\n\
     \                [--drift full|code-only|off]\n\
     \                [--report FILE] [--baseline FILE] [--exit-zero]\n\
     \                [--check-baseline BASELINE --against REPORT] [ROOT]...\n\
@@ -93,6 +93,9 @@ let parse_args () =
       go rest
     | "--races" :: rest ->
       cfg.passes <- cfg.passes @ [ "races" ];
+      go rest
+    | "--cost" :: rest ->
+      cfg.passes <- cfg.passes @ [ "cost" ];
       go rest
     | "--procedures" :: rest ->
       cfg.passes <- cfg.passes @ [ "procedures" ];
@@ -247,6 +250,14 @@ let () =
     let fp = A.Footprint.scan graph ~globals in
     A.Racecheck.run fp ~declared:cfg.race_roots sink
   end;
+  if want "cost" then begin
+    let cost = A.Cost.analyze graph in
+    A.Cost.run cost sink;
+    (* The ranked table — the profiling worklist — only when --cost was
+       asked for by name: the implicit all-passes runs (@lint) stay
+       terse, and the SARIF report stays the only machine artifact. *)
+    if List.mem "cost" cfg.passes then print_string (A.Cost.ranked_table cost)
+  end;
   if want "procedures" || cfg.manifest <> None then begin
     let procs = A.Procfoot.analyze eff in
     if want "procedures" then A.Procfoot.run procs sink;
@@ -260,7 +271,15 @@ let () =
   | None -> ());
   let effective =
     match cfg.baseline with
-    | Some path -> A.Diag.new_findings ~baseline:(load_report path) diags
+    | Some path ->
+      let baseline = load_report path in
+      List.iter
+        (fun d ->
+          Printf.printf
+            "lint: note: stale baseline entry (no current finding): %s %s %s\n"
+            d.A.Diag.d_rule d.A.Diag.d_file d.A.Diag.d_message)
+        (A.Diag.stale_baseline ~baseline diags);
+      A.Diag.new_findings ~baseline diags
     | None -> diags
   in
   match (diags, effective) with

@@ -258,3 +258,12 @@ let new_findings ~baseline diags =
   let known = Hashtbl.create 64 in
   List.iter (fun d -> Hashtbl.replace known (fingerprint d) ()) baseline;
   List.filter (fun d -> not (Hashtbl.mem known (fingerprint d))) diags
+
+(* The other direction: baseline entries no current finding matches.
+   An obsolete fingerprint is debt — it would silently grandfather a
+   *re-introduced* instance of the finding it once excused — so the
+   driver surfaces these as notes whenever a baseline is in play. *)
+let stale_baseline ~baseline diags =
+  let current = Hashtbl.create 64 in
+  List.iter (fun d -> Hashtbl.replace current (fingerprint d) ()) diags;
+  List.filter (fun d -> not (Hashtbl.mem current (fingerprint d))) baseline

@@ -86,7 +86,12 @@ let discard_below t n =
     t.floor_line <- Some last.Action.id;
     dropped
   end
+  (* Walks and reallocates the retained green suffix — the in-memory
+     image of the log kept above the checkpoint floor. *)
+  [@@analysis.cost "O(log); alloc O(log)"]
 
+(* O(1) amortized: capacity doubles, so each copied slot is paid for by
+   the append that first filled it. *)
 let grow t a =
   let stored = t.green_count - t.floor in
   let cap = Array.length t.green in
@@ -96,6 +101,7 @@ let grow t a =
     Array.blit t.green 0 ng 0 stored;
     t.green <- ng
   end
+  [@@analysis.cost "O(1); alloc O(1)"]
 
 (* O(1) amortized: membership is a hashtable lookup and deletion is
    lazy — the list entry becomes a tombstone, swept out only when

@@ -214,6 +214,7 @@ let flush_marks t =
     let batch = List.rev acc in
     Persist.log_green_batch t.persist (List.map (fun a -> a.Action.id) batch);
     t.cb.on_green batch
+  [@@analysis.hotpath "O(batch+queue)"]
 
 let begin_burst t = t.burst_depth <- t.burst_depth + 1
 
@@ -277,6 +278,10 @@ let rec mark_red t (a : Action.t) =
     Hashtbl.replace tbl a.id.index a;
     false
   end
+  (* Mutually recursive with [drain_pending_red]: each drained action is
+     removed from its pending table, so the pair does one queue-bounded
+     sweep per contiguous run — the analysis sees only the recursion. *)
+  [@@analysis.cost "O(queue); alloc O(queue)"]
 
 and drain_pending_red t creator =
   match Hashtbl.find_opt t.pending_red creator with
@@ -374,6 +379,10 @@ let install t =
   List.iter (mark_green t) reds; (* OR-2 *)
   log_meta t;
   sync_then t (fun () -> ())
+  (* Greens every yellow and red once; each marked action leaves the
+     corresponding set, and install runs once per primary installation,
+     not per delivered message. *)
+  [@@analysis.cost "O(queue); alloc O(queue)"]
 
 (* ------------------------------------------------------------------ *)
 (* Client requests (paper A.1/A.2 Client_req, A.8)                     *)
@@ -801,6 +810,7 @@ let on_action t (a : Action.t) ~in_regular =
     (* Total order makes this unreachable (actions are ordered after the
        CPCs that precede them); accept defensively as red. *)
     ignore (mark_red t a)
+  [@@analysis.hotpath "O(batch+members+queue)"]
 
 let rec on_retrans_green t g_index (a : Action.t) =
   let count = Action_queue.green_count t.queue in

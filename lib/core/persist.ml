@@ -348,3 +348,4 @@ let compact t =
         | E_ongoing a -> not (covered a.Action.id)
     in
     Wlog.compact t.log ~keep
+  [@@analysis.cost "O(log); alloc O(log)"]

@@ -208,6 +208,9 @@ let flush_query_waiters t =
     t.query_waiters <- [];
     List.iter (fun k -> k ()) waiters
   end
+  (* Each waiter is a parked weak query, bounded by the in-flight
+     request queue; the list is consumed as it is flushed. *)
+  [@@analysis.cost "O(queue); alloc O(queue)"]
 
 (* Execute one green action with exactly-once suppression.  Every path
    that applies greens — live apply, recovery replay — goes through
@@ -255,6 +258,8 @@ let apply_green_batch t (actions : Action.t list) =
     t.greens_since_checkpoint <- t.greens_since_checkpoint + n;
     if t.greens_since_checkpoint >= cadence then checkpoint_now t
   | None -> ()
+  (* members: the checkpoint record carries the per-member green cut. *)
+  [@@analysis.hotpath "O(batch+members+queue+log)"]
 
 let apply_red t (a : Action.t) =
   t.dirty_cache <- None;

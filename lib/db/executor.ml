@@ -5,6 +5,9 @@ type procedure_trace = {
   t_writes : string list;
 }
 
+(* Work and allocation are bounded by the action's own payload (its key
+   list / op list / procedure body), independent of group size, queue
+   depth or log length — constant per action for the cost lattice. *)
 let execute ?on_procedure ~procs db (action : Action.t) : Action.response =
   match action.kind with
   | Action.Query keys -> Action.Committed (Database.read db keys)
@@ -61,6 +64,7 @@ let execute ?on_procedure ~procs db (action : Action.t) : Action.response =
     end
     else Action.Aborted
   | Action.Join _ | Action.Leave _ -> Action.Committed []
+  [@@analysis.cost "O(1); alloc O(1)"]
 
 let read_only (action : Action.t) =
   match action.kind with

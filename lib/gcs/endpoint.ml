@@ -185,6 +185,8 @@ let size_of_wire prm = function
     List.fold_left
       (fun acc (_, d) -> acc + prm.Params.header_bytes + d.d_size + 8)
       24 q_entries
+  (* Folds over the one message's own entry list — batch-sized. *)
+  [@@analysis.cost "O(batch); alloc O(1)"]
 
 let multicast_set t ~dsts msg =
   let dsts =
@@ -269,6 +271,10 @@ let try_deliver t cs =
   t.on_burst_start ();
   loop ();
   t.on_burst_end ()
+  (* The local [loop] delivers the contiguous run above [delivered_upto]
+     — each iteration consumes one stored message, so the sweep is
+     bounded by the store (the in-flight queue). *)
+  [@@analysis.cost "O(queue); alloc O(queue)"]
 
 (* Messages below the safe line are held by every member (safe = everyone
    acked contiguous receipt), so they can never be needed for
@@ -282,6 +288,9 @@ let evict t cs =
     done;
     cs.evicted_below <- limit
   end
+  (* The for-loop bound is dynamic but every evicted sequence number was
+     a stored message: amortized one removal per message ever stored. *)
+  [@@analysis.cost "O(queue); alloc O(1)"]
 
 let rec note_have_advanced t cs =
   let rec advance () =
@@ -324,6 +333,10 @@ let rec note_have_advanced t cs =
              if cs.max_safe_seq > cs.safe_upto then note_have_advanced t cs
            end))
   end
+  (* Self-recursive only through the re-armed ack timer (a later event,
+     not this activation); the inline [advance] walks the contiguous
+     receipt run, one store lookup per received message. *)
+  [@@analysis.cost "O(members+queue); alloc O(members+queue)"]
 
 let store_message t cs ~seq (d : 'p data) =
   Hashtbl.replace cs.store seq d;
@@ -385,6 +398,7 @@ let handle_data t cs ~installed (d : 'p data) =
       if installed && i_am_coord t cs then
         coord_enqueue_order t cs ~sender:d.d_sender ~lseq:d.d_lseq
     end
+  [@@analysis.hotpath "O(batch+members+queue)"]
 
 let handle_order t cs ~installed o_entries =
   List.iter
@@ -396,6 +410,7 @@ let handle_order t cs ~installed o_entries =
         | None -> Hashtbl.replace cs.pending_assignment (sender, lseq) seq)
     o_entries;
   if installed then note_have_advanced t cs
+  [@@analysis.hotpath "O(batch+members+queue)"]
 
 let handle_ack t cs ~from ~upto =
   let prev = match Hashtbl.find_opt cs.acks from with Some a -> a | None -> 0 in
@@ -405,6 +420,7 @@ let handle_ack t cs ~from ~upto =
     try_deliver t cs;
     evict t cs
   end
+  [@@analysis.hotpath "O(members+queue)"]
 
 (* ------------------------------------------------------------------ *)
 (* Sending                                                             *)

@@ -138,6 +138,9 @@ let unicast_now t ~src ~dst ~size msg =
       (Engine.schedule_at t.engine ~at:arrival (fun () ->
            deliver t ~src ~dst ~size msg))
   end
+  (* One channel-horizon update and one scheduled delivery per call —
+     constant work and allocation per message sent. *)
+  [@@analysis.cost "O(1); alloc O(1)"]
 
 let unicast t ~src ~dst ~size msg =
   on_cpu t src ~cost:t.config.send_cpu_cost (fun () ->

@@ -151,6 +151,10 @@ let force t k =
     ignore
       (Engine.schedule t.engine ~delay:t.config.delayed_ack_latency (fun () ->
            if generation = t.generation then k ()))
+  (* Parks the continuation and arms at most one flush timer; the
+     waiter list is drained once per physical flush, one entry per
+     force call that joined the group commit. *)
+  [@@analysis.cost "O(queue); alloc O(queue)"]
 
 let crash t =
   t.generation <- t.generation + 1;

@@ -62,6 +62,7 @@ let append_batch t entries =
     let records = Array.of_list entries in
     t.record_count <- t.record_count + Array.length records;
     t.frames <- { records; epoch; seq; sum_ok = true; torn = false } :: t.frames
+  [@@analysis.hotpath "O(batch)"]
 
 let append t entry = append_batch t [ entry ]
 let sync t k = Disk.force t.disk k

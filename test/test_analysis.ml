@@ -13,6 +13,7 @@ module Footprint = Repro_analysis.Footprint
 module Racecheck = Repro_analysis.Racecheck
 module Globals = Repro_analysis.Globals
 module Keyspace = Repro_analysis.Keyspace
+module Loops = Repro_analysis.Loops
 module Source = Repro_analysis.Source
 module Spec = Repro_check.Spec
 
@@ -419,6 +420,88 @@ let test_stale_suppressions () =
     (List.map fst
        (Globals.stale_suppressions ~annotated ~flagged:[ "U.cache" ]))
 
+(* --- the cost lattice and budget grammar ------------------------------ *)
+
+let test_cost_lattice () =
+  let module L = Loops in
+  Alcotest.(check int)
+    "join is union" (L.batch lor L.queue) (L.join L.batch L.queue);
+  Alcotest.(check bool) "top absorbs" true (L.is_top (L.join L.members L.top));
+  Alcotest.(check bool) "subset fits" true (L.fits L.batch (L.batch lor L.queue));
+  Alcotest.(check bool)
+    "superset does not fit" false
+    (L.fits (L.batch lor L.members) L.batch);
+  Alcotest.(check bool)
+    "constant allocation is always tolerated" true
+    (L.fits (L.queue lor L.alloc_const) L.queue);
+  Alcotest.(check bool) "top fits nothing" false (L.fits L.top L.top);
+  Alcotest.(check string) "rendering order" "O(batch+members+queue+log)"
+    (L.to_string (L.batch lor L.members lor L.queue lor L.log_bound));
+  Alcotest.(check string) "empty set renders O(1)" "O(1)" (L.to_string L.const)
+
+let test_cost_budget_grammar () =
+  let module L = Loops in
+  let budget = Alcotest.(option (pair int int)) in
+  Alcotest.(check budget)
+    "work-only budget bounds allocation too"
+    (Some (L.batch lor L.members, L.batch lor L.members))
+    (L.parse_budget "O(batch+members)");
+  Alcotest.(check budget)
+    "explicit alloc clause"
+    (Some (L.queue, L.const))
+    (L.parse_budget "O(queue); alloc O(1)");
+  Alcotest.(check budget)
+    "spaces are insignificant"
+    (Some (L.batch, L.const))
+    (L.parse_budget " O( batch ) ; alloc O( 1 ) ");
+  Alcotest.(check budget) "unknown class rejected" None
+    (L.parse_budget "O(n)");
+  Alcotest.(check budget) "top is not spellable" None (L.parse_budget "O(top)");
+  Alcotest.(check budget) "missing O() rejected" None (L.parse_budget "batch");
+  Alcotest.(check budget) "trailing clause rejected" None
+    (L.parse_budget "O(1); alloc O(1); alloc O(1)")
+
+let test_cost_type_markers () =
+  let module L = Loops in
+  let cls = Alcotest.(option int) in
+  Alcotest.(check cls) "membership type" (Some L.members)
+    (L.classify_names [ "list"; "Node_id.t" ]);
+  Alcotest.(check cls) "queue type wins over members"
+    (Some L.queue)
+    (L.classify_names [ "list"; "Node_id.t"; "Action.Id.t" ]);
+  Alcotest.(check cls) "log frames" (Some L.log_bound)
+    (L.classify_names [ "array"; "Wlog.frame" ]);
+  Alcotest.(check cls) "unmarked type" None
+    (L.classify_names [ "list"; "string" ])
+
+let test_stale_trusted () =
+  let refs = function
+    | "root" -> [ "a"; "b" ]
+    | "a" -> [ "waived"; "root" ] (* cycle back to the root *)
+    | _ -> []
+  in
+  Alcotest.(check (list string))
+    "only the unreachable waiver is stale" [ "orphan" ]
+    (Loops.stale_trusted ~roots:[ "root" ] ~refs
+       ~trusted:[ "waived"; "orphan" ])
+
+let test_stale_baseline () =
+  let sink = Diag.create_sink () in
+  add sink ~rule:"hotpath-cost" ~file:"a.ml" ~line:3 ~col:0 "still here";
+  let current = Diag.to_list sink in
+  let gone =
+    { (List.hd current) with Diag.d_rule = "hotpath-alloc"; d_message = "fixed" }
+  in
+  Alcotest.(check (list string))
+    "only the entry with no current match is stale" [ "fixed" ]
+    (List.map
+       (fun d -> d.Diag.d_message)
+       (Diag.stale_baseline ~baseline:(gone :: current) current));
+  (* fingerprints carry no line number: a moved finding is not stale *)
+  let moved = { (List.hd current) with Diag.d_line = 99 } in
+  Alcotest.(check int) "line moves do not strand the baseline" 0
+    (List.length (Diag.stale_baseline ~baseline:[ moved ] current))
+
 let () =
   Alcotest.run "analysis"
     [
@@ -476,5 +559,14 @@ let () =
         [
           Alcotest.test_case "stale exemptions surface" `Quick
             test_stale_suppressions;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "summary lattice" `Quick test_cost_lattice;
+          Alcotest.test_case "budget grammar" `Quick test_cost_budget_grammar;
+          Alcotest.test_case "type markers" `Quick test_cost_type_markers;
+          Alcotest.test_case "stale hotpath waivers" `Quick test_stale_trusted;
+          Alcotest.test_case "stale baseline fingerprints" `Quick
+            test_stale_baseline;
         ] );
     ]

@@ -633,6 +633,57 @@ let mk_state ~server ~green ~floor ~cuts =
     sm_yellow = Types.invalid_yellow;
   }
 
+(* ComputeKnowledge at exchange scale: 200 members, each advertising a
+   different yellow prefix, green count and red cut.  Checks the
+   intersection (reference order preserved, shortest prefix survives),
+   the green span and plan, and the per-creator red target — the
+   whole-group path the intersection/array rework optimizes. *)
+let test_knowledge_exchange_200_members () =
+  let n = 200 in
+  let ids = List.init n Fun.id in
+  let members = Node_id.set_of_list ids in
+  let prim = Types.initial_prim ~servers:members in
+  let yellow_ids len =
+    List.init len (fun i -> { Action.Id.server = 0; index = i + 1 })
+  in
+  let states =
+    List.fold_left
+      (fun m s ->
+        let sm =
+          {
+            Types.sm_server = s;
+            sm_conf = { Repro_gcs.Conf_id.coord = 0; counter = 1 };
+            sm_red_cut = Node_id.Map.singleton 0 (50 + (s mod 3));
+            sm_green_count = 100 + (s mod 7);
+            sm_green_line = None;
+            sm_green_floor = 0;
+            sm_attempt = s mod 4;
+            sm_prim = prim;
+            sm_vulnerable = Types.invalid_vulnerable;
+            sm_yellow =
+              { Types.y_valid = true; y_set = yellow_ids (10 + (s mod 5)) };
+          }
+        in
+        Node_id.Map.add s sm m)
+      Node_id.Map.empty ids
+  in
+  let k = Knowledge.compute ~members states in
+  Alcotest.(check int) "attempt is the group max" 3 k.Knowledge.k_attempt;
+  Alcotest.(check int) "green target is the max count" 106
+    k.Knowledge.k_green_target;
+  Alcotest.(check bool) "yellow knowledge is valid" true
+    k.Knowledge.k_yellow.Types.y_valid;
+  Alcotest.(check bool) "yellow intersection keeps the reference prefix" true
+    (k.Knowledge.k_yellow.Types.y_set = yellow_ids 10);
+  Alcotest.(check bool) "red target is the max advertised cut" true
+    (Node_id.Map.find_opt 0 k.Knowledge.k_red_targets = Some 52);
+  let covered =
+    List.fold_left
+      (fun acc (_, from_pos, to_pos) -> if from_pos = acc then to_pos else acc)
+      100 k.Knowledge.k_green_plan
+  in
+  Alcotest.(check int) "green plan covers (min, max]" 106 covered
+
 let prop_knowledge_green_plan_covers =
   (* Whenever some member with floor 0 holds the maximum green count, the
      plan must cover exactly (min, max]. *)
@@ -995,6 +1046,8 @@ let () =
           Alcotest.test_case "torn batch keeps FIFO gap-free" `Quick
             test_persist_torn_batch_fifo_gap_free;
           QCheck_alcotest.to_alcotest prop_persist_recovery_invariants;
+          Alcotest.test_case "knowledge exchange at 200 members" `Quick
+            test_knowledge_exchange_200_members;
           QCheck_alcotest.to_alcotest prop_knowledge_green_plan_covers;
           QCheck_alcotest.to_alcotest prop_knowledge_red_duties_cover;
         ] );

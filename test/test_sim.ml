@@ -72,6 +72,47 @@ let prop_heap_sorts =
       List.iter (Heap.push h) l;
       Heap.to_sorted_list h = List.sort Int.compare l)
 
+let test_keyed_heap_ordering () =
+  let h = Heap.Keyed.create () in
+  Alcotest.(check bool) "empty" true (Heap.Keyed.is_empty h);
+  List.iteri
+    (fun i k -> Heap.Keyed.push h ~key:k ~tie:i (k * 10))
+    [ 5; 1; 9; 3; 7; 2; 8; 0; 4; 6 ];
+  Alcotest.(check int) "length" 10 (Heap.Keyed.length h);
+  Alcotest.(check int) "min key" 0 (Heap.Keyed.min_key h);
+  Alcotest.(check int) "peek payload" 0 (Heap.Keyed.peek h);
+  let drained = List.init 10 (fun _ -> Heap.Keyed.pop h) in
+  Alcotest.(check (list int)) "sorted by key"
+    [ 0; 10; 20; 30; 40; 50; 60; 70; 80; 90 ]
+    drained;
+  Alcotest.(check bool) "drained empty" true (Heap.Keyed.is_empty h);
+  Alcotest.(check bool) "pop empty raises" true
+    (match Heap.Keyed.pop h with
+    | exception Heap.Keyed.Empty -> true
+    | _ -> false)
+
+let test_keyed_heap_tiebreak () =
+  (* Equal primary keys drain in tiebreak order — the FIFO guarantee the
+     event queue relies on for same-instant timers. *)
+  let h = Heap.Keyed.create () in
+  List.iter (fun t -> Heap.Keyed.push h ~key:7 ~tie:t t) [ 3; 1; 4; 0; 2 ];
+  Heap.Keyed.push h ~key:2 ~tie:99 99;
+  Alcotest.(check int) "lower key first" 99 (Heap.Keyed.pop h);
+  Alcotest.(check (list int)) "ties in push order" [ 0; 1; 2; 3; 4 ]
+    (List.init 5 (fun _ -> Heap.Keyed.pop h))
+
+let prop_keyed_heap_sorts =
+  QCheck.Test.make ~name:"keyed heap drains any list sorted" ~count:200
+    QCheck.(list small_int)
+    (fun l ->
+      let h = Heap.Keyed.create () in
+      List.iteri (fun i k -> Heap.Keyed.push h ~key:k ~tie:i k) l;
+      let rec drain acc =
+        if Heap.Keyed.is_empty h then List.rev acc
+        else drain (Heap.Keyed.pop h :: acc)
+      in
+      drain [] = List.sort Int.compare l)
+
 let test_engine_event_order () =
   let engine = Engine.create () in
   let order = ref [] in
@@ -298,6 +339,9 @@ let () =
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "empty" `Quick test_heap_empty;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
+          Alcotest.test_case "keyed ordering" `Quick test_keyed_heap_ordering;
+          Alcotest.test_case "keyed tie-break" `Quick test_keyed_heap_tiebreak;
+          QCheck_alcotest.to_alcotest prop_keyed_heap_sorts;
         ] );
       ( "engine",
         [
